@@ -1,0 +1,16 @@
+"""Bench: the paper-vs-measured shape comparison.
+
+Every check in this report is a formal acceptance criterion of the
+reproduction; the bench fails if any regresses.
+"""
+
+from conftest import run_once
+
+from repro.experiments import compare
+
+
+def test_compare(benchmark, ctx, results_dir):
+    text = run_once(benchmark, lambda: compare.run(ctx, results_dir=str(results_dir)))
+    print("\n" + text)
+    verdicts = [row[-1] for row in compare.rows(ctx)]
+    assert verdicts and all(v == "PASS" for v in verdicts)

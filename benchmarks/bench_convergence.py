@@ -1,0 +1,23 @@
+"""Bench: anytime-performance comparison of DD vs GA."""
+
+from conftest import run_once
+
+from repro.experiments import ext_convergence
+
+
+def test_ext_convergence(benchmark, ctx, results_dir):
+    text = run_once(
+        benchmark, lambda: ext_convergence.run(ctx, results_dir=str(results_dir)),
+    )
+    print("\n" + text)
+
+    series = ext_convergence.series(ctx)
+    assert series
+    # curves are monotone within each (application, algorithm) pair
+    previous_key, previous_value = None, 0.0
+    for program, algorithm, _evaluation, best in series:
+        key = (program, algorithm)
+        value = float(best)
+        if key == previous_key:
+            assert value >= previous_value - 1e-12
+        previous_key, previous_value = key, value

@@ -1,0 +1,43 @@
+"""Bench: regenerate paper Figure 2 (DD vs GA scatter data).
+
+Shape assertions (paper Section IV-B.2):
+
+* Fig 2a — GA's evaluation count is far more stable than DD's: "DD
+  typically tests more configurations until it reaches a solution,
+  whereas GA presents stable behavior";
+* Fig 2b — DD's configurations are at least as fast as GA's on
+  average: "Typically, DD produces slightly more performant versions
+  than GA."
+"""
+
+import math
+import statistics
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, ctx, results_dir):
+    text = run_once(benchmark, lambda: fig2.run(ctx, results_dir=str(results_dir)))
+    print("\n" + text)
+
+    points = fig2.points(ctx)
+    assert points, "figure 2 produced no data"
+
+    by_algorithm: dict[str, list] = {"DD": [], "GA": []}
+    for point in points:
+        by_algorithm[point.algorithm].append(point)
+
+    # Fig 2a: GA's EV spread is tighter than DD's
+    dd_evs = [p.evaluations for p in by_algorithm["DD"]]
+    ga_evs = [p.evaluations for p in by_algorithm["GA"]]
+    assert statistics.pstdev(ga_evs) < statistics.pstdev(dd_evs)
+    assert max(dd_evs) > max(ga_evs)
+
+    # Fig 2b: DD speedups >= GA speedups on average
+    def mean_speedup(points_list):
+        values = [p.speedup for p in points_list if not math.isnan(p.speedup)]
+        return statistics.mean(values)
+
+    assert mean_speedup(by_algorithm["DD"]) >= mean_speedup(by_algorithm["GA"]) - 0.02

@@ -1,0 +1,21 @@
+"""Bench: machine-model sensitivity of the Table IV conversions."""
+
+from conftest import run_once
+
+from repro.experiments import ext_machines
+
+
+def test_ext_machines(benchmark, results_dir):
+    text = run_once(benchmark, lambda: ext_machines.run(results_dir=str(results_dir)))
+    print("\n" + text)
+
+    rows = {row[0]: row for row in ext_machines.rows()}
+    # LavaMD's win is the cache effect: big on the Xeon, mostly gone
+    # on the bandwidth-rich accelerator.
+    assert float(rows["lavamd"][1]) > 2.5
+    assert float(rows["lavamd"][3]) < 2.0
+    # On every machine, every conversion stays >= ~1 (never a
+    # catastrophic slowdown from going single).
+    for row in rows.values():
+        for cell in row[1:]:
+            assert float(cell) > 0.9

@@ -1,0 +1,45 @@
+"""Micro-benchmarks: wall-clock execution time of every suite program.
+
+These time the *host-side* cost of one instrumented execution (the
+quantity that bounds how fast searches run in this reproduction), for
+both the all-double baseline and the all-single configuration.
+"""
+
+import pytest
+
+from repro.benchmarks.base import (
+    application_benchmarks, get_benchmark, kernel_benchmarks,
+)
+from repro.core.types import Precision, PrecisionConfig
+
+ALL_PROGRAMS = kernel_benchmarks() + application_benchmarks()
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+def test_execute_baseline(benchmark, name):
+    bench = get_benchmark(name)
+    bench.inputs()
+    bench.report()
+    result = benchmark.pedantic(
+        lambda: bench.execute(PrecisionConfig()), rounds=3, iterations=1,
+    )
+    assert result.modeled_seconds > 0
+
+
+@pytest.mark.parametrize("name", ("hydro-1d", "blackscholes", "lavamd"))
+def test_execute_single(benchmark, name):
+    bench = get_benchmark(name)
+    config = bench.search_space().uniform_config(Precision.SINGLE)
+    result = benchmark.pedantic(lambda: bench.execute(config), rounds=3, iterations=1)
+    assert result.modeled_seconds > 0
+
+
+@pytest.mark.parametrize("name", ("hydro-1d", "cfd"))
+def test_typeforge_analysis(benchmark, name):
+    """Cost of the static type-dependence analysis itself."""
+    def analyse():
+        bench = get_benchmark(name)  # fresh instance: no cached report
+        return bench.report()
+
+    report = benchmark.pedantic(analyse, rounds=3, iterations=1)
+    assert report.total_variables > 0

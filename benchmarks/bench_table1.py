@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Table I (kernel inventory)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, results_dir):
+    text = run_once(benchmark, lambda: table1.run(results_dir=str(results_dir)))
+    print("\n" + text)
+    rows = table1.rows()
+    assert len(rows) == 10
+    names = [row[0] for row in rows]
+    assert "banded-lin-eq" in names and "tridiag" in names

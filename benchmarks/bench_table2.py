@@ -1,0 +1,27 @@
+"""Bench: regenerate paper Table II (TV/TC per program).
+
+Shape assertions: kernel rows equal the paper exactly; among the
+applications CFD shows the strongest clustering and Blackscholes the
+weakest, as the paper discusses.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, results_dir):
+    text = run_once(benchmark, lambda: table2.run(results_dir=str(results_dir)))
+    print("\n" + text)
+
+    rows = {row[0]: (row[2], row[3]) for row in table2.rows()}
+    for kernel in ("banded-lin-eq", "diff-predictor", "eos", "gen-lin-recur",
+                   "hydro-1d", "iccg", "innerprod", "int-predict",
+                   "planckian", "tridiag"):
+        assert rows[kernel] == table2.PAPER_VALUES[kernel], kernel
+
+    ratio = {name: tc / tv for name, (tv, tc) in rows.items()
+             if name in ("blackscholes", "cfd", "hotspot", "hpccg",
+                         "kmeans", "lavamd", "srad")}
+    assert max(ratio, key=ratio.get) == "blackscholes"  # weakest clustering
+    assert min(ratio, key=ratio.get) == "cfd"           # strongest clustering

@@ -1,0 +1,48 @@
+"""Bench: regenerate paper Table III (kernel evaluation, 6 algorithms).
+
+Shape assertions, mirroring the paper's Section IV-B.1 findings:
+
+* the cluster-level searches (CB, CM, DD, GA) converge to the same
+  configuration on every kernel;
+* the variable-level hierarchical searches evaluate more
+  configurations on the multi-cluster kernels (wasted compile errors);
+* banded-lin-eq keeps its outsized cache-crossing speedup.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.benchmarks.base import kernel_benchmarks
+from repro.experiments import table3
+from repro.experiments.context import KERNEL_THRESHOLD
+
+
+def test_table3(benchmark, ctx, results_dir):
+    text = run_once(benchmark, lambda: table3.run(ctx, results_dir=str(results_dir)))
+    print("\n" + text)
+
+    for kernel in kernel_benchmarks():
+        outcomes = {
+            alg: ctx.outcome(kernel, alg, KERNEL_THRESHOLD)
+            for alg in ("CB", "CM", "DD", "HR", "HC", "GA")
+        }
+        # every search found a solution within budget on every kernel
+        for alg, outcome in outcomes.items():
+            assert outcome is not None and not outcome.timed_out, (kernel, alg)
+
+        # cluster-level searches agree on the solution quality
+        cluster_errors = {
+            round(outcomes[a].error_value, 15) if not math.isnan(outcomes[a].error_value) else None
+            for a in ("CB", "DD")
+        }
+        assert len(cluster_errors) == 1, kernel
+
+    # HR/HC burn evaluations on the kernels whose full conversion fails
+    assert ctx.outcome("eos", "HR", KERNEL_THRESHOLD).evaluations > \
+        ctx.outcome("eos", "DD", KERNEL_THRESHOLD).evaluations
+    assert ctx.outcome("planckian", "HC", KERNEL_THRESHOLD).evaluations > \
+        ctx.outcome("planckian", "CB", KERNEL_THRESHOLD).evaluations
+
+    # the cache-crossing kernel keeps its large speedup
+    assert ctx.outcome("banded-lin-eq", "DD", KERNEL_THRESHOLD).speedup > 2.5

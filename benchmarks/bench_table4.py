@@ -1,0 +1,26 @@
+"""Bench: regenerate paper Table IV (manual all-single conversion).
+
+Shape assertions against the paper's row structure: LavaMD wins by the
+largest margin (cache effect), SRAD's output is destroyed (NaN),
+K-means loses nothing (MCR 0) and HPCCG gains essentially nothing.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, results_dir):
+    text = run_once(benchmark, lambda: table4.run(results_dir=str(results_dir)))
+    print("\n" + text)
+
+    rows = {row[0]: row for row in table4.rows()}
+    speedups = {name: float(row[1]) for name, row in rows.items()}
+
+    assert max(speedups, key=speedups.get) == "lavamd"
+    assert speedups["lavamd"] > 2.0
+    assert rows["srad"][3] == "NaN"
+    assert rows["kmeans"][3] == "0"
+    assert speedups["hpccg"] < 1.25
+    assert speedups["blackscholes"] < 1.3   # transcendental-bound
+    assert speedups["hotspot"] > 1.5        # stencil converts well

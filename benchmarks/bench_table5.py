@@ -1,0 +1,61 @@
+"""Bench: regenerate paper Table V (application searches at 3 thresholds).
+
+This is the expensive grid: 7 applications x 5 algorithms x 3 quality
+thresholds, each under the simulated 24-hour budget.  Shape assertions
+encode the paper's Section IV-B.2 narrative:
+
+* at 1e-3 the initial-criterion searches (DD/HR/HC) terminate
+  immediately with wholesale conversions;
+* CM exceeds the budget on several applications (gray cells);
+* only DD and GA produce a valid configuration for every application
+  at every threshold;
+* tightening the threshold inflates DD's evaluation count
+  (Blackscholes: a handful -> hundreds).
+"""
+
+from conftest import run_once
+
+from repro.benchmarks.base import application_benchmarks
+from repro.experiments import table5
+from repro.experiments.context import APP_ALGORITHMS, APP_THRESHOLDS
+
+
+def test_table5(benchmark, ctx, results_dir):
+    text = run_once(benchmark, lambda: table5.run(ctx, results_dir=str(results_dir)))
+    print("\n" + text)
+
+    # DD and GA succeed everywhere (the paper's headline claim)
+    for program in application_benchmarks():
+        for threshold in APP_THRESHOLDS:
+            for algorithm in ("DD", "GA"):
+                outcome = ctx.outcome(program, algorithm, threshold)
+                assert outcome is not None, (program, algorithm, threshold)
+                assert not outcome.timed_out, (program, algorithm, threshold)
+                assert outcome.found_solution, (program, algorithm, threshold)
+
+    # CM hits the 24-hour budget somewhere (the paper's gray cells)
+    cm_timeouts = sum(
+        1
+        for program in application_benchmarks()
+        for threshold in APP_THRESHOLDS
+        if (o := ctx.outcome(program, "CM", threshold)) is not None and o.timed_out
+    )
+    assert cm_timeouts >= 1
+
+    # relaxed threshold: DD terminates immediately on wholesale programs
+    assert ctx.outcome("hotspot", "DD", 1e-3).evaluations == 1
+    assert ctx.outcome("lavamd", "DD", 1e-3).evaluations == 1
+
+    # stricter thresholds make DD work much harder on Blackscholes
+    dd_relaxed = ctx.outcome("blackscholes", "DD", 1e-3).evaluations
+    dd_strict = ctx.outcome("blackscholes", "DD", 1e-8).evaluations
+    assert dd_strict > dd_relaxed * 20
+
+    # SRAD never converts anything consequential (NaN at single)
+    for threshold in APP_THRESHOLDS:
+        outcome = ctx.outcome("srad", "DD", threshold)
+        assert outcome.speedup < 1.2
+
+    # LavaMD converts wholesale only at the relaxed bound
+    assert ctx.outcome("lavamd", "DD", 1e-3).speedup > 2.0
+    assert ctx.outcome("lavamd", "DD", 1e-6).speedup < 1.5

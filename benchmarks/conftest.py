@@ -1,0 +1,37 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The search-driven benches share one :class:`ExperimentContext` whose
+per-cell outcomes persist under ``results/searches`` at the repository
+root, so a full ``pytest benchmarks/ --benchmark-only`` run computes
+each (program × algorithm × threshold) search exactly once and
+subsequent runs reuse the interchange JSON.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def ctx(results_dir) -> ExperimentContext:
+    return ExperimentContext(results_dir=results_dir)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Search experiments are deterministic and cache their grid, so
+    multiple timing rounds would only measure the cache."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

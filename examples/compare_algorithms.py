@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Compare all six mixed-precision search algorithms on one program.
+
+Reproduces a single row of the paper's Table III: every algorithm —
+combinational, compositional, delta-debugging, hierarchical,
+hierarchical-compositional and the genetic algorithm — tunes the same
+kernel at the same quality threshold, and the EV/SU/AC metrics are
+tabulated side by side.
+
+Run with:  python examples/compare_algorithms.py [benchmark] [threshold]
+"""
+
+import sys
+
+from repro.benchmarks import get_benchmark
+from repro.core import ConfigurationEvaluator
+from repro.harness import format_quality, format_speedup, format_table
+from repro.search import ALGORITHM_ORDER, make_strategy
+from repro.verify import QualitySpec
+
+
+def main(program: str = "eos", threshold: float = 1e-8) -> None:
+    rows = []
+    for abbreviation in ALGORITHM_ORDER:
+        bench = get_benchmark(program)
+        evaluator = ConfigurationEvaluator(
+            bench, quality=QualitySpec(bench.metric, threshold),
+        )
+        outcome = make_strategy(abbreviation).run(evaluator)
+        rows.append([
+            abbreviation,
+            outcome.strategy,
+            outcome.evaluations,
+            f"{outcome.analysis_seconds / 3600:.2f}h",
+            format_speedup(outcome.speedup),
+            format_quality(outcome.error_value),
+            "timeout" if outcome.timed_out else
+            ("ok" if outcome.found_solution else "none"),
+        ])
+    print(format_table(
+        ["abbr", "strategy", "EV", "analysis", "SU", "AC", "status"],
+        rows,
+        title=f"{program} @ threshold {threshold:g}",
+    ))
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "eos"
+    bound = float(sys.argv[2]) if len(sys.argv) > 2 else 1e-8
+    main(name, bound)

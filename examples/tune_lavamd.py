@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Domain scenario: why LavaMD is the mixed-precision poster child.
+
+The paper's sharpest observation (Section V): lowering LavaMD's
+particle arrays halves their footprint, which flips the working set
+from DRAM-resident to cache-resident — a speedup no instruction-level
+tool can see, because it comes from *memory layout*, not arithmetic.
+
+This script makes the mechanism visible: it executes LavaMD under the
+all-double and all-single configurations, prints the modeled working
+set against the machine's cache capacities and the resulting runtime
+breakdown, then sweeps all three paper thresholds with delta debugging
+to show where the conversion stops being allowed.
+
+Run with:  python examples/tune_lavamd.py
+"""
+
+from repro.benchmarks import get_benchmark
+from repro.core import ConfigurationEvaluator, Precision, PrecisionConfig
+from repro.runtime import DEFAULT_MACHINE
+from repro.search import DeltaDebugSearch
+from repro.verify import QualitySpec
+
+
+def describe_execution(label: str, result) -> None:
+    footprint_mb = result.profile.peak_footprint / 2**20
+    bandwidth = DEFAULT_MACHINE.bandwidth(result.profile.peak_footprint)
+    print(f"  {label}:")
+    print(f"    working set     : {footprint_mb:6.1f} MiB")
+    print(f"    effective BW    : {bandwidth / 1e9:6.1f} GB/s")
+    print(f"    modeled runtime : {result.modeled_seconds * 1e3:6.1f} modeled ms")
+
+
+def main() -> None:
+    bench = get_benchmark("lavamd")
+    llc = DEFAULT_MACHINE.cache_levels[-1]
+    print(f"Machine: LLC = {llc.capacity_bytes / 2**20:.0f} MiB "
+          f"@ {llc.bandwidth_bytes_per_s / 1e9:.0f} GB/s, "
+          f"DRAM @ {DEFAULT_MACHINE.dram_bandwidth / 1e9:.0f} GB/s")
+
+    print("\nCache residency of the particle state:")
+    baseline = bench.execute(PrecisionConfig())
+    describe_execution("double precision", baseline)
+    single = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+    describe_execution("single precision", single)
+    print(f"  conversion speedup: "
+          f"{baseline.modeled_seconds / single.modeled_seconds:.2f}x")
+
+    print("\nDelta-debugging search across the paper's thresholds:")
+    for threshold in (1e-3, 1e-6, 1e-8):
+        evaluator = ConfigurationEvaluator(
+            get_benchmark("lavamd"), quality=QualitySpec("MAE", threshold),
+        )
+        outcome = DeltaDebugSearch().run(evaluator)
+        lowered = (
+            len(outcome.final.config.lowered_locations())
+            if outcome.found_solution else 0
+        )
+        speedup = f"{outcome.speedup:.2f}x" if outcome.found_solution else "-"
+        print(f"  threshold {threshold:8.0e}: EV={outcome.evaluations:3d}  "
+              f"SU={speedup:>6}  lowered variables={lowered}")
+
+    print("\nThe wholesale conversion survives only the relaxed 1e-3 bound —")
+    print("below that, the accumulated force error forbids it, and with the")
+    print("arrays stuck in double precision the cache effect (and the")
+    print("speedup) disappears, exactly as the paper's Table V shows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where pip cannot build PEP 660 editable wheels (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

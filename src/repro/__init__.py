@@ -1,0 +1,32 @@
+"""HPC-MixPBench: an HPC benchmark suite for mixed-precision analysis.
+
+A faithful Python reproduction of the IISWC 2020 paper: 17 precision-
+configurable HPC benchmarks, a Typeforge-style type-dependence
+analysis, six CRAFT-style search algorithms, a FloatSmith-style
+orchestration layer, and a YAML-driven harness that regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.core.types import Precision, PrecisionConfig
+from repro.core.variables import Cluster, Granularity, SearchSpace, Variable, VariableKind
+from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
+from repro.runtime.memory import Workspace
+from repro.verify.quality import QualityResult, QualitySpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Precision",
+    "PrecisionConfig",
+    "Variable",
+    "VariableKind",
+    "Cluster",
+    "Granularity",
+    "SearchSpace",
+    "Workspace",
+    "MachineModel",
+    "DEFAULT_MACHINE",
+    "QualitySpec",
+    "QualityResult",
+    "__version__",
+]

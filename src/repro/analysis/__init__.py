@@ -1,0 +1,33 @@
+"""Analysis of search results: convergence, comparison, export.
+
+Post-processing for the interchange JSON the searches produce —
+everything downstream of the harness that is about *understanding*
+outcomes rather than producing them.
+"""
+
+from repro.analysis.comparison import (
+    OutcomeDelta,
+    compare_outcomes,
+    rank_outcomes,
+    summarize_many,
+)
+from repro.analysis.convergence import (
+    ConvergencePoint,
+    EffortSummary,
+    area_under_curve,
+    convergence_curve,
+    effort_summary,
+    time_to_first_solution,
+)
+from repro.analysis.export import (
+    load_outcomes,
+    outcomes_to_csv,
+    trials_to_csv,
+)
+
+__all__ = [
+    "ConvergencePoint", "convergence_curve", "time_to_first_solution",
+    "EffortSummary", "effort_summary", "area_under_curve",
+    "OutcomeDelta", "compare_outcomes", "rank_outcomes", "summarize_many",
+    "trials_to_csv", "outcomes_to_csv", "load_outcomes",
+]

@@ -1,0 +1,104 @@
+"""Head-to-head comparison of search outcomes.
+
+Given outcomes from different algorithms on the same program and
+threshold, rank them the way the paper's discussion does: solution
+quality first (did it find anything?), then speedup, then effort.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.convergence import area_under_curve, effort_summary
+from repro.core.results import SearchOutcome
+
+__all__ = ["OutcomeDelta", "compare_outcomes", "rank_outcomes"]
+
+
+@dataclass(frozen=True)
+class OutcomeDelta:
+    """How outcome ``b`` differs from outcome ``a``."""
+
+    strategy_a: str
+    strategy_b: str
+    speedup_delta: float        # b - a (NaN if either found nothing)
+    evaluations_delta: int      # b - a
+    hours_delta: float          # b - a
+    same_configuration: bool
+
+    def __str__(self) -> str:
+        speedup = (
+            f"{self.speedup_delta:+.3f}x"
+            if not math.isnan(self.speedup_delta) else "n/a"
+        )
+        return (
+            f"{self.strategy_b} vs {self.strategy_a}: "
+            f"speedup {speedup}, "
+            f"evaluations {self.evaluations_delta:+d}, "
+            f"analysis {self.hours_delta:+.2f}h, "
+            f"{'same' if self.same_configuration else 'different'} configuration"
+        )
+
+
+def compare_outcomes(a: SearchOutcome, b: SearchOutcome) -> OutcomeDelta:
+    """Pairwise delta between two outcomes of the same search problem."""
+    if (a.program, a.threshold) != (b.program, b.threshold):
+        raise ValueError(
+            f"outcomes target different problems: "
+            f"{a.program}@{a.threshold:g} vs {b.program}@{b.threshold:g}"
+        )
+    if a.found_solution and b.found_solution:
+        speedup_delta = b.speedup - a.speedup
+        same = a.final.config == b.final.config
+    else:
+        speedup_delta = float("nan")
+        same = False
+    return OutcomeDelta(
+        strategy_a=a.strategy,
+        strategy_b=b.strategy,
+        speedup_delta=speedup_delta,
+        evaluations_delta=b.evaluations - a.evaluations,
+        hours_delta=(b.analysis_seconds - a.analysis_seconds) / 3600.0,
+        same_configuration=same,
+    )
+
+
+def rank_outcomes(outcomes: list[SearchOutcome]) -> list[SearchOutcome]:
+    """Order outcomes best-first.
+
+    Sort key: found a solution (timeouts and empty results last), then
+    speedup (descending), then anytime performance, then effort
+    (fewer evaluations first).
+    """
+    def key(outcome: SearchOutcome):
+        found = outcome.found_solution and not outcome.timed_out
+        speedup = outcome.speedup if found else float("-inf")
+        if math.isnan(speedup):
+            speedup = float("-inf")
+        return (
+            not found,                      # False sorts first
+            -speedup,
+            -area_under_curve(outcome),
+            outcome.evaluations,
+        )
+
+    return sorted(outcomes, key=key)
+
+
+def summarize_many(outcomes: list[SearchOutcome]) -> list[str]:
+    """One human line per outcome, ranked best-first."""
+    lines = []
+    for outcome in rank_outcomes(outcomes):
+        status = (
+            "timeout" if outcome.timed_out
+            else "ok" if outcome.found_solution else "none"
+        )
+        speedup = (
+            f"{outcome.speedup:.2f}x" if outcome.found_solution else "-"
+        )
+        summary = effort_summary(outcome)
+        lines.append(
+            f"{outcome.strategy:28s} {status:8s} SU={speedup:>7s}  {summary}"
+        )
+    return lines

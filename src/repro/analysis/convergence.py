@@ -1,0 +1,117 @@
+"""Convergence analysis of search trial logs.
+
+A :class:`~repro.core.results.SearchOutcome` carries the full trial
+log; these helpers turn it into the quantities people actually plot:
+best-speedup-so-far curves, time-to-first-solution, and effort
+summaries broken down by evaluation status.  The paper's Figure 3
+correlates final speedup with total configurations; a convergence
+curve shows the *path* — how much of the final speedup each algorithm
+had banked after k evaluations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.results import EvaluationStatus, SearchOutcome
+
+__all__ = [
+    "ConvergencePoint", "convergence_curve", "time_to_first_solution",
+    "EffortSummary", "effort_summary", "area_under_curve",
+]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Best verified speedup available after ``evaluations`` trials."""
+
+    evaluations: int
+    analysis_seconds: float
+    best_speedup: float
+
+
+def convergence_curve(outcome: SearchOutcome) -> list[ConvergencePoint]:
+    """Best-passing-speedup-so-far after each evaluated configuration.
+
+    Points before the first passing trial carry ``best_speedup = 1.0``
+    — the unchanged program is always available, so a search that has
+    found nothing yet still "has" speedup 1.
+    """
+    points: list[ConvergencePoint] = []
+    best = 1.0
+    elapsed = 0.0
+    for index, trial in enumerate(outcome.trials, start=1):
+        elapsed += trial.analysis_seconds
+        if trial.passed and not math.isnan(trial.speedup):
+            best = max(best, trial.speedup)
+        points.append(ConvergencePoint(index, elapsed, best))
+    return points
+
+
+def time_to_first_solution(outcome: SearchOutcome) -> tuple[int, float] | None:
+    """(evaluations, simulated seconds) until the first passing trial,
+    or None when the search never found one."""
+    elapsed = 0.0
+    for index, trial in enumerate(outcome.trials, start=1):
+        elapsed += trial.analysis_seconds
+        if trial.passed:
+            return index, elapsed
+    return None
+
+
+def area_under_curve(outcome: SearchOutcome) -> float:
+    """Mean best-speedup-so-far over the trial sequence.
+
+    A scalar "anytime performance" figure: higher means the search
+    banked speedup earlier.  1.0 for a search that never improves on
+    the original program.
+    """
+    curve = convergence_curve(outcome)
+    if not curve:
+        return 1.0
+    return sum(p.best_speedup for p in curve) / len(curve)
+
+
+@dataclass(frozen=True)
+class EffortSummary:
+    """Where a search's evaluations (and simulated hours) went."""
+
+    evaluations: int
+    passed: int
+    failed_quality: int
+    compile_errors: int
+    runtime_errors: int
+    analysis_hours: float
+    wasted_fraction: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.evaluations} evaluations "
+            f"({self.passed} passed, {self.failed_quality} failed quality, "
+            f"{self.compile_errors} compile errors, "
+            f"{self.runtime_errors} runtime errors) "
+            f"in {self.analysis_hours:.2f} simulated hours; "
+            f"{self.wasted_fraction:.0%} wasted on invalid configurations"
+        )
+
+
+def effort_summary(outcome: SearchOutcome) -> EffortSummary:
+    """Breakdown of an outcome's trial log by evaluation status."""
+    counts = {status: 0 for status in EvaluationStatus}
+    for trial in outcome.trials:
+        counts[trial.status] += 1
+    evaluations = len(outcome.trials)
+    invalid = (
+        counts[EvaluationStatus.COMPILE_ERROR]
+        + counts[EvaluationStatus.RUNTIME_ERROR]
+    )
+    return EffortSummary(
+        evaluations=evaluations,
+        passed=counts[EvaluationStatus.PASSED],
+        failed_quality=counts[EvaluationStatus.FAILED_QUALITY],
+        compile_errors=counts[EvaluationStatus.COMPILE_ERROR],
+        runtime_errors=counts[EvaluationStatus.RUNTIME_ERROR],
+        analysis_hours=outcome.analysis_seconds / 3600.0,
+        wasted_fraction=invalid / evaluations if evaluations else 0.0,
+    )

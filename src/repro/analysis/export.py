@@ -1,0 +1,73 @@
+"""Export trial logs and outcome collections to CSV.
+
+The interchange JSON keeps everything; these helpers flatten it for
+spreadsheet/plotting consumers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.results import SearchOutcome
+from repro.harness.reporting import write_csv
+
+__all__ = ["trials_to_csv", "outcomes_to_csv", "load_outcomes"]
+
+TRIAL_HEADERS = (
+    "index", "status", "error_value", "speedup",
+    "modeled_seconds", "analysis_seconds", "lowered_locations",
+)
+
+OUTCOME_HEADERS = (
+    "program", "strategy", "threshold", "found", "timed_out",
+    "evaluations", "analysis_hours", "speedup", "error_value",
+)
+
+
+def trials_to_csv(outcome: SearchOutcome, path: str | Path) -> Path:
+    """One row per evaluated configuration of a single search."""
+    rows = [
+        [
+            trial.index,
+            trial.status.value,
+            trial.error_value,
+            trial.speedup,
+            trial.modeled_seconds,
+            trial.analysis_seconds,
+            ";".join(sorted(trial.config.lowered_locations())),
+        ]
+        for trial in outcome.trials
+    ]
+    return write_csv(path, TRIAL_HEADERS, rows)
+
+
+def outcomes_to_csv(outcomes: list[SearchOutcome], path: str | Path) -> Path:
+    """One row per search outcome (the Table V flattening)."""
+    rows = [
+        [
+            outcome.program,
+            outcome.strategy,
+            outcome.threshold,
+            outcome.found_solution,
+            outcome.timed_out,
+            outcome.evaluations,
+            outcome.analysis_seconds / 3600.0,
+            outcome.speedup,
+            outcome.error_value,
+        ]
+        for outcome in outcomes
+    ]
+    return write_csv(path, OUTCOME_HEADERS, rows)
+
+
+def load_outcomes(directory: str | Path) -> list[SearchOutcome]:
+    """Load every interchange-JSON outcome under ``directory``
+    (e.g. ``results/searches``), sorted by (program, strategy,
+    threshold) for deterministic downstream tables."""
+    directory = Path(directory)
+    outcomes = [
+        SearchOutcome.load(path)
+        for path in sorted(directory.glob("*.json"))
+    ]
+    outcomes.sort(key=lambda o: (o.program, o.strategy, o.threshold))
+    return outcomes

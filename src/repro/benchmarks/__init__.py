@@ -1,0 +1,18 @@
+"""HPC-MixPBench benchmark suite: 10 kernels + 7 proxy applications."""
+
+from repro.benchmarks.base import (
+    ApplicationBenchmark,
+    Benchmark,
+    KernelBenchmark,
+    application_benchmarks,
+    available_benchmarks,
+    get_benchmark,
+    kernel_benchmarks,
+    register_benchmark,
+)
+
+__all__ = [
+    "Benchmark", "KernelBenchmark", "ApplicationBenchmark",
+    "register_benchmark", "get_benchmark", "available_benchmarks",
+    "kernel_benchmarks", "application_benchmarks",
+]

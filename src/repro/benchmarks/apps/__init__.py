@@ -1,0 +1,11 @@
+"""The seven HPC-MixPBench proxy applications (paper Section III-B)."""
+
+from repro.benchmarks.apps import (  # noqa: F401  (registration side effects)
+    blackscholes,
+    cfd,
+    hotspot,
+    hpccg,
+    kmeans,
+    lavamd,
+    srad,
+)

@@ -1,0 +1,69 @@
+"""CFD flux computations (the euler3d compute kernels).
+
+Split from the solver driver the way Rodinia's euler3d separates the
+flux kernels — and to give the hierarchical searches a module level.
+
+All helpers receive the conserved-variable arrays as parameters, which
+is exactly the program structure the paper analyses for CFD: "most
+functions in the program use parameter array pointers ... the
+clustering algorithm [groups] all these parameters into the same base
+type, thereby generating a small number of clusters".  The helpers
+also declare their intermediate fields (velocities, flux
+contributions), mirroring euler3d's ``float3 velocity``,
+``flux_contribution_momentum_*`` locals — which is what gives CFD the
+largest variable count in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+GAMMA = 1.4
+
+
+def compute_velocity(ws, mom_v, dens_v):
+    """One velocity component u_i = m_i / rho."""
+    velocity = ws.array("velocity", init=mom_v / dens_v)
+    return velocity
+
+
+def compute_speed_sqd(ws, vx_s, vy_s, vz_s):
+    """|u|² from the velocity components."""
+    speed_sqd = ws.array("speed_sqd", init=vx_s * vx_s + vy_s * vy_s + vz_s * vz_s)
+    return speed_sqd
+
+
+def compute_pressure(ws, dens_p, en, spd2):
+    """Ideal-gas pressure p = (γ-1)(E - ½ρ|u|²)."""
+    pressure = ws.array("pressure", init=(GAMMA - 1.0) * (en - 0.5 * dens_p * spd2))
+    return pressure
+
+
+def compute_speed_of_sound(ws, dens_s, prs):
+    """a = sqrt(γ p / ρ)."""
+    sos = ws.array("sos", init=np.sqrt(GAMMA * prs / dens_s))
+    return sos
+
+
+def compute_step_factor(ws, spd2_f, sos_f, cfl):
+    """Local time step Δt = CFL / (|u| + a)."""
+    cfl = ws.param("cfl", cfl)
+    step_factor = ws.array("step_factor", init=cfl / (np.sqrt(spd2_f) + sos_f))
+    return step_factor
+
+
+def compute_flux_contribution(ws, dens_fc, vel_fc, prs_fc):
+    """Per-cell flux contributions: mass, momentum and energy terms
+    carried by one velocity component (euler3d's
+    ``compute_flux_contribution``)."""
+    fc_density = ws.array("fc_density", init=dens_fc * vel_fc)
+    fc_momentum = ws.array("fc_momentum", init=fc_density * vel_fc + prs_fc)
+    fc_energy = ws.array("fc_energy", init=vel_fc * prs_fc)
+    return fc_density, fc_momentum, fc_energy
+
+
+def compute_flux_edge(ws, state, nbr_state, prs_e, nbr_prs, weight):
+    """Upwind-ish edge flux between a cell and one neighbour copy."""
+    weight = ws.param("weight", weight)
+    flux_edge = ws.array("flux_edge", init=weight * (nbr_state - state) + 0.5 * (prs_e + nbr_prs))
+    return flux_edge

@@ -1,0 +1,36 @@
+"""HPCCG primitive operations: SpMV, dot products, vector updates.
+
+Separated from the driver module the way the Mantevo mini-app splits
+``HPC_sparsemv.cpp`` / ``ddot.cpp`` / ``waxpby.cpp`` from ``main.cpp``
+— which also gives the hierarchical searches a real module level to
+descend through.
+
+The sparse matrix-vector product gathers ``x`` through the column
+index array; indices are 32-bit integers whose cost is independent of
+the floating-point configuration, which is why HPCCG shows essentially
+no speedup from precision lowering (paper Table IV: 1.00x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sparsemv(ws, va, xv, yv, cols, row_start):
+    """CSR sparse matrix-vector product: yv = A @ xv."""
+    gathered = xv[cols]
+    products = va * gathered
+    yv[:] = np.add.reduceat(products, row_start)
+
+
+def ddot(ws, xa, ya):
+    """Dot product of two vectors, accumulated in its own precision."""
+    result = ws.scalar("result", np.dot(xa, ya))
+    return result
+
+
+def waxpby(ws, alpha_w, wx, beta_w, wy, wout):
+    """wout = alpha·wx + beta·wy (the HPCCG vector update)."""
+    alpha_w = ws.param("alpha_w", alpha_w)
+    beta_w = ws.param("beta_w", beta_w)
+    wout[:] = alpha_w * wx + beta_w * wy

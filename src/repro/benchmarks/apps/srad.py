@@ -1,0 +1,108 @@
+"""SRAD: Speckle Reducing Anisotropic Diffusion (Rodinia origin).
+
+Removes locally-correlated noise (speckle) from ultrasonic/radar
+imagery by iterating a PDE-based diffusion.  The raw radar image is
+read from a binary file, then *exponentially extracted* — the Rodinia
+preprocessing ``J = exp(I/scale)``.  The raw intensities run up to
+~12,000, so the extracted values reach ``exp(90)`` ≈ 1.2e39: finite in
+double precision, but **overflowing single precision to infinity**,
+after which the normalisation divides inf/inf and floods the output
+with NaN.
+
+This is the paper's SRAD story (Table IV: speedup 1.48, quality NaN —
+"the output quality is completely destroyed ... the application
+outputs NaN"), so every search algorithm must leave the image cluster
+in double precision and can only convert the side arrays, yielding no
+real speedup at any threshold (Table V).
+
+Verification: MAE over the normalised corrected image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchmarks.base import ApplicationBenchmark, register_benchmark
+from repro.runtime.io import mp_fread, write_typed
+
+
+def extract_image(ws, img, inv_scale):
+    """Rodinia preprocessing: J = exp(I / scale) — the overflow site."""
+    inv_scale = ws.param("inv_scale", inv_scale)
+    img[:, :] = np.exp(img * inv_scale)
+
+
+def diffusion_coefficient(ws, jc, dn, ds, dw, de, q0sqr):
+    """The SRAD conduction coefficient c = f(∇J, ∇²J, q0²)."""
+    q0sqr = ws.param("q0sqr", q0sqr)
+    g2 = ws.array("g2", init=(dn * dn + ds * ds + dw * dw + de * de) / (jc * jc))
+    l2 = ws.array("l2", init=(dn + ds + dw + de) / jc)
+    num = ws.array("num", init=0.5 * g2 - 0.0625 * (l2 * l2))
+    den = ws.array("den", init=1.0 + 0.25 * l2)
+    qsqr = ws.array("qsqr", init=num / (den * den))
+    cden = ws.array("cden", init=(qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)))
+    c = ws.array("c", init=1.0 / (1.0 + cden))
+    c[:, :] = np.minimum(np.maximum(c, 0.0), 1.0)
+    return c
+
+
+def srad_iteration(ws, image, lam, q0sqr_i):
+    """One diffusion step over the full image."""
+    lam = ws.param("lam", lam)
+    jc = image[1:-1, 1:-1]
+    dn = ws.array("dn", init=image[:-2, 1:-1] - jc)
+    ds = ws.array("ds", init=image[2:, 1:-1] - jc)
+    dw = ws.array("dw", init=image[1:-1, :-2] - jc)
+    de = ws.array("de", init=image[1:-1, 2:] - jc)
+    c = diffusion_coefficient(ws, jc, dn, ds, dw, de, q0sqr_i)
+    # Rodinia applies per-direction coefficients: the north/west terms
+    # use the local c, the south/east terms the neighbour's.
+    cn = ws.array("cn", init=c)
+    cs = ws.array("cs", init=np.roll(c, -1, axis=0))
+    cw = ws.array("cw", init=c)
+    ce = ws.array("ce", init=np.roll(c, -1, axis=1))
+    divergence = ws.array(
+        "divergence", init=cn * dn + cs * ds + cw * dw + ce * de,
+    )
+    image[1:-1, 1:-1] = jc + 0.25 * lam * divergence
+
+
+def run(ws, path, rows, cols, iterations, lam_value):
+    """Denoise the radar image; return the normalised result."""
+    image = mp_fread(ws, "image", path, shape=(rows, cols))
+    extract_image(ws, image, 1.0 / 135.0)
+    for _ in range(iterations):
+        roi = image[8:40, 8:40]
+        roi_mean = np.mean(roi)
+        roi_var = np.mean(roi * roi) - roi_mean * roi_mean
+        q0sqr_roi = ws.scalar("q0sqr_roi", roi_var / (roi_mean * roi_mean))
+        q0sqr = q0sqr_roi
+        srad_iteration(ws, image, lam_value, q0sqr)
+    normalized = ws.array("normalized", init=image / np.max(image))
+    return normalized
+
+
+@register_benchmark
+class Srad(ApplicationBenchmark):
+    """srad: speckle-reducing anisotropic diffusion (Rodinia)."""
+
+    name = "srad"
+    description = "Speckle-reducing anisotropic diffusion imaging"
+    module_name = "repro.benchmarks.apps.srad"
+    entry = "run"
+    metric = "MAE"
+    nominal_seconds = 30.0
+    compile_seconds = 20.0
+
+    def setup(self):
+        rows, cols = 256, 256
+        rng = np.random.default_rng(self.seed + 3)
+        # Raw radar intensities up to ~12,100: exp(I/135) overflows
+        # single precision (exp(89.6) > FLT_MAX) but not double.
+        raw = rng.uniform(0.0, 12_100.0, size=(rows, cols))
+        path = self.data_dir() / "radar_image.bin"
+        write_typed(path, raw)
+        return {
+            "path": path, "rows": rows, "cols": cols,
+            "iterations": 4, "lam_value": 0.25,
+        }

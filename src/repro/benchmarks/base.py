@@ -1,0 +1,255 @@
+"""Benchmark framework: base classes and the suite registry.
+
+A benchmark binds together everything the paper's harness needs to know
+about one program (Section III): the precision-configurable code (an
+MPB-style module), how to generate its inputs, which quality metric
+verifies its output, and the timing parameters used by the simulated
+analysis clock.
+
+Concrete benchmarks subclass :class:`KernelBenchmark` (randomly
+initialised, no I/O — the paper's Table I codes) or
+:class:`ApplicationBenchmark` (proxy/mini apps, possibly file-driven)
+and register themselves with :func:`register_benchmark`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import tempfile
+from abc import ABC, abstractmethod
+from pathlib import Path
+from types import ModuleType
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.core.program import ExecutionResult
+from repro.core.types import PrecisionConfig
+from repro.core.variables import Granularity, SearchSpace
+from repro.errors import BenchmarkNotFound
+from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
+from repro.runtime.memory import Workspace
+from repro.runtime.mparray import unwrap
+from repro.typeforge import TypeforgeReport, analyze
+from repro.verify.quality import QualitySpec
+
+__all__ = [
+    "Benchmark", "KernelBenchmark", "ApplicationBenchmark",
+    "register_benchmark", "get_benchmark", "available_benchmarks",
+    "kernel_benchmarks", "application_benchmarks", "collect_output",
+]
+
+
+def collect_output(result: Any) -> np.ndarray:
+    """Flatten a benchmark's return value into one float64 vector.
+
+    Benchmarks may return a single array or a tuple of arrays (e.g.
+    LavaMD returns positions and velocities); verification metrics
+    compare the concatenation.
+    """
+    parts = result if isinstance(result, tuple) else (result,)
+    flat = [np.asarray(unwrap(p), dtype=np.float64).ravel() for p in parts]
+    return np.concatenate(flat) if len(flat) > 1 else flat[0]
+
+
+class Benchmark(ABC):
+    """A precision-configurable program of the suite.
+
+    Class attributes configure identity and timing; subclasses
+    implement :meth:`setup` (deterministic input generation) and point
+    at their MPB-style compute module via :attr:`module_name` and
+    :attr:`entry`.
+    """
+
+    #: unique suite-wide identifier, e.g. ``"hydro-1d"``
+    name: str = ""
+    #: one-line description (paper Table I / Section III-B)
+    description: str = ""
+    #: ``"kernel"`` or ``"application"``
+    category: str = "kernel"
+    #: dotted module path of the MPB-style compute code
+    module_name: str = ""
+    #: additional module paths for multi-module applications
+    extra_module_names: tuple[str, ...] = ()
+    #: entry function name inside :attr:`module_name`
+    entry: str = "kernel"
+    #: quality metric used to verify this benchmark
+    metric: str = "MAE"
+    #: default acceptance threshold
+    default_threshold: float = 1e-6
+    #: paper methodology: 10 timed runs per configuration
+    runs_per_config: int = 10
+    #: plausible per-run wall seconds on the paper's testbed (scales
+    #: modeled time onto the simulated 24-hour analysis clock)
+    nominal_seconds: float = 2.0
+    #: simulated build time per configuration
+    compile_seconds: float = 10.0
+    #: seed for deterministic input generation
+    seed: int = 20200901
+
+    def __init__(self, machine: MachineModel = DEFAULT_MACHINE) -> None:
+        if not self.name or not self.module_name:
+            raise TypeError(
+                f"{type(self).__name__} must define class attributes "
+                "'name' and 'module_name'"
+            )
+        self.machine = machine
+        self._report: TypeforgeReport | None = None
+        self._inputs: dict[str, Any] | None = None
+
+    # -- to implement -------------------------------------------------------
+    @abstractmethod
+    def setup(self) -> dict[str, Any]:
+        """Generate the benchmark's inputs, deterministically.
+
+        Returned mapping is passed to the entry function as keyword
+        arguments (after ``ws``).  May write input files for
+        applications that exercise the typed-I/O runtime API.
+        """
+
+    # -- derived machinery ----------------------------------------------------
+    @property
+    def quality(self) -> QualitySpec:
+        return QualitySpec(self.metric, self.default_threshold)
+
+    def modules(self) -> list[ModuleType]:
+        names = (self.module_name, *self.extra_module_names)
+        return [importlib.import_module(n) for n in names]
+
+    def report(self) -> TypeforgeReport:
+        """Typeforge analysis of this benchmark (cached)."""
+        if self._report is None:
+            self._report = analyze(self.modules(), entry=self.entry, program=self.name)
+        return self._report
+
+    def search_space(self, granularity: Granularity = Granularity.CLUSTER) -> SearchSpace:
+        return self.report().search_space(granularity)
+
+    def inputs(self) -> dict[str, Any]:
+        if self._inputs is None:
+            self._inputs = self.setup()
+        return self._inputs
+
+    def data_dir(self) -> Path:
+        """Directory for generated input files (the paper's benchmarks
+        ship binary inputs; ours are generated deterministically).
+        Override location with ``MIXPBENCH_DATA``."""
+        root = os.environ.get("MIXPBENCH_DATA")
+        base = Path(root) if root else Path(tempfile.gettempdir()) / "hpc-mixpbench"
+        path = base / self.name
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def entry_point(self) -> Callable:
+        return getattr(importlib.import_module(self.module_name), self.entry)
+
+    def execute(
+        self,
+        config: PrecisionConfig,
+        inputs: dict[str, Any] | None = None,
+    ) -> ExecutionResult:
+        """Run under ``config``: same inputs, same seed, only the
+        precision assignment differs between executions."""
+        ws = Workspace(config, name_map=self.report().name_map, seed=self.seed)
+        raw = self.entry_point()(ws, **(inputs if inputs is not None else self.inputs()))
+        output = collect_output(raw)
+        return ExecutionResult(
+            output=output,
+            profile=ws.profile,
+            modeled_seconds=self.machine.time(ws.profile),
+        )
+
+    def manual_inputs(self, precision) -> dict[str, Any]:
+        """Inputs for the paper's Table IV *manual* whole-program
+        conversion.  A human rewriting the source also converts what no
+        tool can touch (e.g. literals); benchmarks with such elements
+        override this hook."""
+        return self.inputs()
+
+    def execute_manual(self, precision) -> ExecutionResult:
+        """Run the manual uniform-precision version (Table IV)."""
+        config = self.search_space().uniform_config(precision)
+        return self.execute(config, inputs=self.manual_inputs(precision))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class KernelBenchmark(Benchmark):
+    """Table-I style kernel: no I/O, randomly initialised inputs."""
+
+    category = "kernel"
+    nominal_seconds = 2.0
+    compile_seconds = 10.0
+    default_threshold = 1e-8
+
+
+class ApplicationBenchmark(Benchmark):
+    """Proxy/mini application (PARSEC, Rodinia, Mantevo origins)."""
+
+    category = "application"
+    nominal_seconds = 5.0
+    compile_seconds = 20.0
+    default_threshold = 1e-6
+
+
+_REGISTRY: dict[str, type[Benchmark]] = {}
+
+
+def register_benchmark(cls: type[Benchmark]) -> type[Benchmark]:
+    """Class decorator adding a benchmark to the suite registry."""
+    if not cls.name:
+        raise TypeError(f"{cls.__name__} has no name; cannot register")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"benchmark {cls.name!r} registered twice")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_benchmark(name: str, machine: MachineModel = DEFAULT_MACHINE) -> Benchmark:
+    """Instantiate a registered benchmark by name."""
+    _ensure_suite_loaded()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise BenchmarkNotFound(
+            f"no benchmark named {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(machine=machine)
+
+
+def available_benchmarks() -> tuple[str, ...]:
+    _ensure_suite_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def kernel_benchmarks() -> tuple[str, ...]:
+    _ensure_suite_loaded()
+    return tuple(sorted(n for n, c in _REGISTRY.items() if c.category == "kernel"))
+
+
+def application_benchmarks() -> tuple[str, ...]:
+    _ensure_suite_loaded()
+    return tuple(sorted(n for n, c in _REGISTRY.items() if c.category == "application"))
+
+
+def _iter_registered() -> Iterable[type[Benchmark]]:
+    _ensure_suite_loaded()
+    return _REGISTRY.values()
+
+
+_SUITE_MODULES = (
+    "repro.benchmarks.kernels",
+    "repro.benchmarks.apps",
+)
+_loaded = False
+
+
+def _ensure_suite_loaded() -> None:
+    """Import the suite packages so their @register_benchmark run."""
+    global _loaded
+    if not _loaded:
+        _loaded = True
+        for module in _SUITE_MODULES:
+            importlib.import_module(module)

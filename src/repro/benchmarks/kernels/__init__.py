@@ -1,0 +1,14 @@
+"""The ten HPC-MixPBench kernels (paper Table I)."""
+
+from repro.benchmarks.kernels import (  # noqa: F401  (registration side effects)
+    banded_lin_eq,
+    diff_predictor,
+    eos,
+    gen_lin_recur,
+    hydro_1d,
+    iccg,
+    innerprod,
+    int_predict,
+    planckian,
+    tridiag,
+)

@@ -1,0 +1,17 @@
+"""Core abstractions: precision types, program locations, evaluation."""
+
+from repro.core.evaluator import ConfigurationEvaluator, TimingMode, measured_seconds
+from repro.core.program import ExecutionResult, Program
+from repro.core.results import EvaluationStatus, SearchOutcome, TrialRecord
+from repro.core.types import Precision, PrecisionConfig
+from repro.core.variables import (
+    Cluster, Granularity, SearchSpace, Variable, VariableKind,
+)
+
+__all__ = [
+    "Precision", "PrecisionConfig",
+    "Variable", "VariableKind", "Cluster", "Granularity", "SearchSpace",
+    "Program", "ExecutionResult",
+    "ConfigurationEvaluator", "TimingMode", "measured_seconds",
+    "EvaluationStatus", "TrialRecord", "SearchOutcome",
+]

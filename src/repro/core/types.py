@@ -1,0 +1,254 @@
+"""Precision levels and precision configurations.
+
+A *precision configuration* is the unit of work in mixed-precision
+search: an immutable mapping from program locations (variable or cluster
+identifiers) to floating-point precision levels.  The search algorithms
+in :mod:`repro.search` enumerate configurations; the evaluator in
+:mod:`repro.core.evaluator` compiles, runs and verifies them.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from collections.abc import Iterable, Mapping
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Precision", "PrecisionConfig"]
+
+
+class Precision(enum.Enum):
+    """An IEEE-754 floating-point precision level.
+
+    The paper focuses on ``double`` (64-bit) and ``single`` (32-bit)
+    precision; ``half`` is included because the CRAFT search machinery
+    is generic over the number of levels (``p`` in the paper's
+    ``p**loc`` search-space size).
+    """
+
+    HALF = "half"
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The NumPy dtype implementing this precision level."""
+        return _DTYPES[self]
+
+    @property
+    def bits(self) -> int:
+        """Width of the format in bits."""
+        return _BITS[self]
+
+    @property
+    def bytes(self) -> int:
+        """Width of the format in bytes."""
+        return _BITS[self] // 8
+
+    @classmethod
+    def from_name(cls, name: str) -> "Precision":
+        """Parse a precision from its name (``"single"``), a C type
+        name (``"float"``/``"double"``) or a bit width (``"32"``)."""
+        key = str(name).strip().lower()
+        try:
+            return _ALIASES[key]
+        except KeyError:
+            raise ValueError(f"unknown precision name: {name!r}") from None
+
+    @classmethod
+    def from_dtype(cls, dtype: np.dtype | type) -> "Precision":
+        """Map a NumPy floating dtype back to a precision level."""
+        dt = np.dtype(dtype)
+        for precision, candidate in _DTYPES.items():
+            if candidate == dt:
+                return precision
+        raise ValueError(f"no precision level for dtype {dt}")
+
+    def __lt__(self, other: "Precision") -> bool:
+        if not isinstance(other, Precision):
+            return NotImplemented
+        return self.bits < other.bits
+
+    def __le__(self, other: "Precision") -> bool:
+        if not isinstance(other, Precision):
+            return NotImplemented
+        return self.bits <= other.bits
+
+    def __gt__(self, other: "Precision") -> bool:
+        if not isinstance(other, Precision):
+            return NotImplemented
+        return self.bits > other.bits
+
+    def __ge__(self, other: "Precision") -> bool:
+        if not isinstance(other, Precision):
+            return NotImplemented
+        return self.bits >= other.bits
+
+
+_DTYPES: dict[Precision, np.dtype] = {
+    Precision.HALF: np.dtype(np.float16),
+    Precision.SINGLE: np.dtype(np.float32),
+    Precision.DOUBLE: np.dtype(np.float64),
+}
+
+_BITS: dict[Precision, int] = {
+    Precision.HALF: 16,
+    Precision.SINGLE: 32,
+    Precision.DOUBLE: 64,
+}
+
+_ALIASES: dict[str, Precision] = {
+    "half": Precision.HALF,
+    "fp16": Precision.HALF,
+    "float16": Precision.HALF,
+    "16": Precision.HALF,
+    "single": Precision.SINGLE,
+    "float": Precision.SINGLE,
+    "fp32": Precision.SINGLE,
+    "float32": Precision.SINGLE,
+    "32": Precision.SINGLE,
+    "double": Precision.DOUBLE,
+    "fp64": Precision.DOUBLE,
+    "float64": Precision.DOUBLE,
+    "64": Precision.DOUBLE,
+}
+
+
+class PrecisionConfig(Mapping[str, Precision]):
+    """An immutable mapping from location names to precision levels.
+
+    Locations not present in the mapping run at the *default* precision
+    (double, matching the original all-double programs).  Instances are
+    hashable so evaluators can cache results, and they serialise to the
+    FloatSmith-style JSON interchange format.
+    """
+
+    __slots__ = ("_assignments", "_default", "_key")
+
+    def __init__(
+        self,
+        assignments: Mapping[str, Precision] | Iterable[tuple[str, Precision]] = (),
+        default: Precision = Precision.DOUBLE,
+    ) -> None:
+        items = dict(assignments)
+        for location, precision in items.items():
+            if not isinstance(precision, Precision):
+                raise TypeError(
+                    f"precision for {location!r} must be a Precision, "
+                    f"got {type(precision).__name__}"
+                )
+        # Assignments equal to the default are redundant; dropping them
+        # makes equality and hashing canonical.
+        self._assignments = {
+            location: precision
+            for location, precision in sorted(items.items())
+            if precision is not default
+        }
+        self._default = default
+        self._key = (tuple(self._assignments.items()), default)
+
+    @property
+    def default(self) -> Precision:
+        """Precision used by locations without an explicit assignment."""
+        return self._default
+
+    def precision_of(self, location: str) -> Precision:
+        """Precision of ``location`` (explicit or default)."""
+        return self._assignments.get(location, self._default)
+
+    def dtype_of(self, location: str) -> np.dtype:
+        """NumPy dtype of ``location`` under this configuration."""
+        return self.precision_of(location).dtype
+
+    # -- Mapping protocol ------------------------------------------------
+    def __getitem__(self, location: str) -> Precision:
+        return self.precision_of(location)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._assignments)
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __contains__(self, location: object) -> bool:
+        return location in self._assignments
+
+    # -- identity --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrecisionConfig):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v.value}" for k, v in self._assignments.items())
+        return f"PrecisionConfig({{{body}}}, default={self._default.value})"
+
+    # -- derivation ------------------------------------------------------
+    def assign(self, locations: Iterable[str] | str, precision: Precision) -> "PrecisionConfig":
+        """Return a new configuration with ``locations`` set to ``precision``."""
+        if isinstance(locations, str):
+            locations = (locations,)
+        merged = dict(self._assignments)
+        for location in locations:
+            merged[location] = precision
+        return PrecisionConfig(merged, default=self._default)
+
+    def without(self, locations: Iterable[str] | str) -> "PrecisionConfig":
+        """Return a new configuration with ``locations`` reverted to default."""
+        if isinstance(locations, str):
+            locations = (locations,)
+        drop = set(locations)
+        kept = {k: v for k, v in self._assignments.items() if k not in drop}
+        return PrecisionConfig(kept, default=self._default)
+
+    def merge(self, other: "PrecisionConfig") -> "PrecisionConfig":
+        """Union of two configurations (``other`` wins on conflicts)."""
+        merged = dict(self._assignments)
+        merged.update(other._assignments)
+        return PrecisionConfig(merged, default=self._default)
+
+    def lowered_locations(self) -> frozenset[str]:
+        """Locations assigned a precision *below* the default."""
+        return frozenset(
+            loc for loc, prec in self._assignments.items() if prec < self._default
+        )
+
+    def is_baseline(self) -> bool:
+        """True when every location runs at the default precision."""
+        return not self._assignments
+
+    # -- serialisation (FloatSmith JSON interchange) ----------------------
+    def to_json_dict(self) -> dict:
+        """Serialise to the FloatSmith-style JSON interchange layout."""
+        return {
+            "default": self._default.value,
+            "actions": [
+                {"location": location, "to_type": precision.value}
+                for location, precision in self._assignments.items()
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping) -> "PrecisionConfig":
+        """Inverse of :meth:`to_json_dict`."""
+        try:
+            default = Precision.from_name(payload.get("default", "double"))
+            actions = payload["actions"]
+            assignments = {
+                action["location"]: Precision.from_name(action["to_type"])
+                for action in actions
+            }
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed configuration payload: {payload!r}") from exc
+        return cls(assignments, default=default)
+
+    def digest(self) -> str:
+        """Stable short hash, used to seed per-configuration noise."""
+        blob = json.dumps(self.to_json_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]

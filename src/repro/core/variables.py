@@ -1,0 +1,259 @@
+"""Program locations: variables, clusters, and search spaces.
+
+The paper distinguishes two granularities at which the search algorithms
+operate (Section II):
+
+* **variables** — every floating-point declaration in the program
+  (locals, parameters, dynamically allocated arrays);
+* **clusters** — disjoint sets of variables that Typeforge's
+  type-dependence analysis proves must share a base type for the
+  program to compile.
+
+A :class:`SearchSpace` exposes one of the two granularities as a list
+of *locations*, each of which a search algorithm may independently set
+to a precision level.  Configurations produced at cluster granularity
+are always compilable; at variable granularity they may split a
+cluster, which the evaluator rejects with a simulated ``CompileError``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.types import Precision, PrecisionConfig
+
+__all__ = ["VariableKind", "Variable", "Cluster", "Granularity", "SearchSpace"]
+
+
+class VariableKind(enum.Enum):
+    """What sort of declaration a variable came from."""
+
+    ARRAY = "array"       # ws.array(...) — heap allocation / pointer
+    SCALAR = "scalar"     # ws.scalar(...) — local scalar
+    PARAM = "param"       # function parameter (array-bound or ws.param)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A floating-point program location discovered by Typeforge.
+
+    ``uid`` is the globally unique name used in precision
+    configurations; for a local it is ``"function.name"``.
+    """
+
+    name: str
+    kind: VariableKind
+    function: str
+    module: str = ""
+    pointer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind is VariableKind.ARRAY and not self.pointer:
+            # Arrays are always pointer-typed; normalise rather than trust
+            # the caller to pass both flags consistently.
+            object.__setattr__(self, "pointer", True)
+
+    @property
+    def uid(self) -> str:
+        return f"{self.function}.{self.name}"
+
+    @property
+    def is_pointer(self) -> bool:
+        """Pointer-typed locations (arrays and array-bound parameters)
+        are the ones whose binding unifies base types across
+        functions."""
+        return self.pointer
+
+    def __str__(self) -> str:
+        return self.uid
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A set of variables that must share one base type.
+
+    Clusters are the output of the type-dependence partitioning
+    (paper Section II-C): the power set of clusters describes every
+    configuration of the program that compiles.
+    """
+
+    cid: str
+    members: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a cluster must contain at least one variable")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.members))
+
+    def __contains__(self, uid: object) -> bool:
+        return uid in self.members
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.members) == 1
+
+
+class Granularity(enum.Enum):
+    """Granularity at which a search strategy enumerates locations."""
+
+    VARIABLE = "variable"
+    CLUSTER = "cluster"
+
+
+class SearchSpace:
+    """The set of locations a search algorithm may transform.
+
+    The space knows both granularities and can translate either kind of
+    location choice into a concrete per-variable
+    :class:`~repro.core.types.PrecisionConfig` for the evaluator.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[Variable],
+        clusters: Sequence[Cluster],
+        granularity: Granularity = Granularity.CLUSTER,
+        levels: Sequence[Precision] = (Precision.SINGLE, Precision.DOUBLE),
+    ) -> None:
+        self._variables = {v.uid: v for v in variables}
+        if len(self._variables) != len(variables):
+            raise ValueError("duplicate variable uids in search space")
+        self._clusters = {c.cid: c for c in clusters}
+        covered: set[str] = set()
+        for cluster in clusters:
+            unknown = cluster.members - self._variables.keys()
+            if unknown:
+                raise ValueError(f"cluster {cluster.cid} references unknown variables {sorted(unknown)}")
+            overlap = cluster.members & covered
+            if overlap:
+                raise ValueError(f"clusters overlap on {sorted(overlap)}")
+            covered |= cluster.members
+        uncovered = self._variables.keys() - covered
+        if uncovered:
+            raise ValueError(f"variables not covered by any cluster: {sorted(uncovered)}")
+        self.granularity = granularity
+        self.levels = tuple(sorted(set(levels), key=lambda p: p.bits))
+        if Precision.DOUBLE not in self.levels:
+            raise ValueError("the search space must include the default double precision")
+        self._cluster_of = {
+            uid: cluster.cid for cluster in clusters for uid in cluster.members
+        }
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(self._variables.values())
+
+    @property
+    def clusters(self) -> tuple[Cluster, ...]:
+        return tuple(self._clusters.values())
+
+    @property
+    def total_variables(self) -> int:
+        """TV in the paper's Table II."""
+        return len(self._variables)
+
+    @property
+    def total_clusters(self) -> int:
+        """TC in the paper's Table II."""
+        return len(self._clusters)
+
+    def variable(self, uid: str) -> Variable:
+        return self._variables[uid]
+
+    def cluster(self, cid: str) -> Cluster:
+        return self._clusters[cid]
+
+    def cluster_of(self, uid: str) -> Cluster:
+        """The cluster containing variable ``uid``."""
+        return self._clusters[self._cluster_of[uid]]
+
+    def locations(self) -> tuple[str, ...]:
+        """The location identifiers at the active granularity, in a
+        deterministic order."""
+        if self.granularity is Granularity.CLUSTER:
+            return tuple(sorted(self._clusters))
+        return tuple(sorted(self._variables))
+
+    def at(self, granularity: Granularity) -> "SearchSpace":
+        """The same space viewed at another granularity."""
+        if granularity is self.granularity:
+            return self
+        return SearchSpace(
+            self.variables, self.clusters, granularity=granularity, levels=self.levels
+        )
+
+    def size(self) -> int:
+        """Number of raw configurations: ``p ** loc`` (paper, Section II)."""
+        return len(self.levels) ** len(self.locations())
+
+    # -- configuration construction ---------------------------------------
+    def config_from_choices(self, choices: Mapping[str, Precision]) -> PrecisionConfig:
+        """Translate per-location choices into a per-variable config.
+
+        At cluster granularity each choice fans out to every member of
+        the cluster; at variable granularity choices apply directly
+        (and may therefore produce non-compiling configurations).
+        """
+        assignments: dict[str, Precision] = {}
+        for location, precision in choices.items():
+            if self.granularity is Granularity.CLUSTER:
+                try:
+                    cluster = self._clusters[location]
+                except KeyError:
+                    raise KeyError(f"unknown cluster {location!r}") from None
+                for uid in cluster.members:
+                    assignments[uid] = precision
+            else:
+                if location not in self._variables:
+                    raise KeyError(f"unknown variable {location!r}")
+                assignments[location] = precision
+        return PrecisionConfig(assignments)
+
+    def uniform_config(self, precision: Precision) -> PrecisionConfig:
+        """Every variable at ``precision`` (e.g. the all-single program)."""
+        return PrecisionConfig({uid: precision for uid in self._variables})
+
+    def lower(self, locations: Iterable[str] | str, precision: Precision = Precision.SINGLE) -> PrecisionConfig:
+        """Configuration with ``locations`` (at the active granularity)
+        lowered to ``precision`` and everything else at default."""
+        if isinstance(locations, str):
+            locations = (locations,)
+        return self.config_from_choices({loc: precision for loc in locations})
+
+    def is_compilable(self, config: PrecisionConfig) -> bool:
+        """True when no cluster is split across precision levels."""
+        for cluster in self._clusters.values():
+            precisions = {config.precision_of(uid) for uid in cluster.members}
+            if len(precisions) > 1:
+                return False
+        return True
+
+    def violated_clusters(self, config: PrecisionConfig) -> tuple[str, ...]:
+        """Clusters whose members disagree on precision under ``config``."""
+        bad = []
+        for cid, cluster in sorted(self._clusters.items()):
+            precisions = {config.precision_of(uid) for uid in cluster.members}
+            if len(precisions) > 1:
+                bad.append(cid)
+        return tuple(bad)
+
+    def lowered_location_set(self, config: PrecisionConfig) -> frozenset[str]:
+        """Locations (at active granularity) fully lowered under ``config``."""
+        lowered = []
+        for location in self.locations():
+            members = (
+                self._clusters[location].members
+                if self.granularity is Granularity.CLUSTER
+                else (location,)
+            )
+            if all(config.precision_of(uid) < Precision.DOUBLE for uid in members):
+                lowered.append(location)
+        return frozenset(lowered)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the HPC-MixPBench reproduction.
+
+Every error raised by this package derives from :class:`MixPBenchError` so
+that callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class MixPBenchError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CompileError(MixPBenchError):
+    """A precision configuration cannot be compiled.
+
+    Raised (in simulation) when a configuration assigns different
+    precisions to members of a single Typeforge cluster.  In the paper's
+    C/C++ setting such configurations fail type checking; here the
+    evaluator rejects them before running the benchmark, but the attempt
+    still counts as an evaluated configuration, mirroring the wasted
+    effort the paper attributes to variable-granularity searches.
+    """
+
+
+class VerificationError(MixPBenchError):
+    """The verification library could not compare two outputs."""
+
+
+class StyleError(MixPBenchError):
+    """A benchmark module violates the constrained MPB coding style.
+
+    The Typeforge-style static analysis only understands benchmark
+    modules written in the documented style (see ``repro.typeforge``).
+    """
+
+
+class UnknownVariableError(MixPBenchError):
+    """A precision configuration references a variable that the program
+    does not declare."""
+
+
+class SearchBudgetExceeded(MixPBenchError):
+    """The simulated 24-hour analysis budget (or the evaluation-count
+    ceiling) was exhausted before the search converged."""
+
+
+class HarnessConfigError(MixPBenchError):
+    """A YAML harness configuration file is missing required keys or
+    contains values of the wrong type."""
+
+
+class PluginError(MixPBenchError):
+    """An analysis plugin failed to load or run."""
+
+
+class BenchmarkNotFound(MixPBenchError):
+    """No benchmark with the requested name is registered."""

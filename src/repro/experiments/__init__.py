@@ -1,0 +1,28 @@
+"""Experiments: regenerate every table and figure of the paper.
+
+========  =====================================================
+Artifact  Content
+========  =====================================================
+table1    kernel inventory (paper Table I)
+table2    TV/TC Typeforge complexity (paper Table II)
+table3    kernel evaluation, 6 algorithms @ 1e-8 (paper Table III)
+table4    manual all-single conversion (paper Table IV)
+table5    application evaluation @ 1e-3/1e-6/1e-8 (paper Table V)
+fig2      DD vs GA: clusters vs EV / speedup (paper Fig. 2a+2b)
+fig3      speedup vs tested configurations (paper Fig. 3)
+========  =====================================================
+"""
+
+from repro.experiments.context import (
+    APP_ALGORITHMS,
+    APP_THRESHOLDS,
+    KERNEL_ALGORITHMS,
+    KERNEL_THRESHOLD,
+    ExperimentContext,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "KERNEL_THRESHOLD", "APP_THRESHOLDS",
+    "KERNEL_ALGORITHMS", "APP_ALGORITHMS",
+]

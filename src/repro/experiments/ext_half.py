@@ -1,0 +1,102 @@
+"""Extension experiment — half-precision as the target level.
+
+The paper scopes its evaluation to two levels ("we also currently
+focus on two precision levels: double and single") while noting that
+the search machinery is generic over ``p`` levels and that
+accelerators increasingly provide fp16.  This experiment exercises
+that third level three ways: delta debugging lowering to single, to
+half, and the progressive precision ladder (double → single → half,
+``repro.search.ladder``), all at a threshold loose enough for half
+precision to be plausible (1e-3).
+
+Expected shape: half roughly doubles the modeled arithmetic rate again
+for cheap-op kernels, but its 1e-3-epsilon arithmetic and 65504 range
+disqualify kernels with long accumulations or large magnitudes — the
+search then converts less (or nothing), so fp16's extra throughput is
+only realisable for short, well-scaled computations.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks.base import get_benchmark, kernel_benchmarks
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.types import Precision
+from repro.harness.reporting import (
+    format_quality, format_speedup, format_table, write_csv,
+)
+from repro.search.delta_debug import DeltaDebugSearch
+from repro.search.ladder import PrecisionLadderSearch
+from repro.verify.quality import QualitySpec
+
+__all__ = ["rows", "render", "run", "HEADERS", "THRESHOLD"]
+
+HEADERS = (
+    "Kernel",
+    "SU(single)", "AC(single)", "lowered(single)",
+    "SU(half)", "AC(half)", "lowered(half)",
+    "SU(ladder)", "AC(ladder)", "levels(ladder)",
+)
+
+#: loose bound: half precision's epsilon is ~9.8e-4
+THRESHOLD = 1e-3
+
+
+def _tune(program: str, target: Precision) -> tuple[str, str, int]:
+    bench = get_benchmark(program)
+    evaluator = ConfigurationEvaluator(
+        bench, quality=QualitySpec(bench.metric, THRESHOLD),
+    )
+    strategy = DeltaDebugSearch()
+    strategy.target_precision = target
+    outcome = strategy.run(evaluator)
+    if not outcome.found_solution:
+        return "-", "-", 0
+    return (
+        format_speedup(outcome.speedup),
+        format_quality(outcome.error_value),
+        len(outcome.final.config.lowered_locations()),
+    )
+
+
+def _tune_ladder(program: str) -> tuple[str, str, str]:
+    bench = get_benchmark(program)
+    evaluator = ConfigurationEvaluator(
+        bench, quality=QualitySpec(bench.metric, THRESHOLD),
+    )
+    outcome = PrecisionLadderSearch().run(evaluator)
+    if not outcome.found_solution:
+        return "-", "-", "-"
+    levels = "+".join(sorted(
+        {p.value for p in outcome.final.config.values()},
+        key=lambda v: Precision.from_name(v).bits,
+    )) or "double"
+    return (
+        format_speedup(outcome.speedup),
+        format_quality(outcome.error_value),
+        levels,
+    )
+
+
+def rows() -> list[list[str]]:
+    out = []
+    for program in kernel_benchmarks():
+        single = _tune(program, Precision.SINGLE)
+        half = _tune(program, Precision.HALF)
+        ladder = _tune_ladder(program)
+        out.append([program, single[0], single[1], single[2],
+                    half[0], half[1], half[2],
+                    ladder[0], ladder[1], ladder[2]])
+    return out
+
+
+def render() -> str:
+    return format_table(
+        HEADERS, rows(),
+        f"Extension: DD targeting single vs half precision (threshold {THRESHOLD:g})",
+    )
+
+
+def run(results_dir="results") -> str:
+    text = render()
+    write_csv(f"{results_dir}/ext_half.csv", HEADERS, rows())
+    return text

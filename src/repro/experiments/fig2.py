@@ -1,0 +1,80 @@
+"""Figure 2 — DD vs GA across applications and thresholds.
+
+* Fig. 2a: application complexity (total clusters, x-axis) against the
+  number of tested configurations (y-axis).  The paper's finding: DD's
+  evaluations grow with cluster count and threshold strictness, GA
+  stays flat.
+* Fig. 2b: application complexity against the obtained speedup.  The
+  paper's finding: DD's extra effort rarely buys more speed.
+
+Figures are emitted as data series (CSV + text), one point per
+(application, threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmarks.base import application_benchmarks, get_benchmark
+from repro.experiments.context import APP_THRESHOLDS, ExperimentContext
+from repro.harness.reporting import format_speedup, format_table, write_csv
+
+__all__ = ["FigurePoint", "points", "render", "run", "HEADERS"]
+
+HEADERS = ("application", "threshold", "clusters", "algorithm", "evaluations", "speedup")
+
+_ALGORITHMS = ("DD", "GA")
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One marker of the scatter plots."""
+
+    application: str
+    threshold: float
+    clusters: int
+    algorithm: str
+    evaluations: int
+    speedup: float
+
+
+def points(ctx: ExperimentContext) -> list[FigurePoint]:
+    ctx.application_grid()
+    out = []
+    for program in application_benchmarks():
+        clusters = get_benchmark(program).report().total_clusters
+        for threshold in APP_THRESHOLDS:
+            for algorithm in _ALGORITHMS:
+                outcome = ctx.outcome(program, algorithm, threshold)
+                if outcome is None:
+                    continue
+                out.append(FigurePoint(
+                    application=program,
+                    threshold=threshold,
+                    clusters=clusters,
+                    algorithm=algorithm,
+                    evaluations=outcome.evaluations,
+                    speedup=outcome.speedup,
+                ))
+    return out
+
+
+def rows(ctx: ExperimentContext) -> list[list]:
+    return [
+        [p.application, f"{p.threshold:g}", p.clusters, p.algorithm,
+         p.evaluations, format_speedup(p.speedup)]
+        for p in points(ctx)
+    ]
+
+
+def render(ctx: ExperimentContext) -> str:
+    return format_table(
+        HEADERS, rows(ctx),
+        "Figure 2 data: clusters vs evaluations (2a) and vs speedup (2b), DD vs GA",
+    )
+
+
+def run(ctx: ExperimentContext, results_dir="results") -> str:
+    text = render(ctx)
+    write_csv(f"{results_dir}/fig2.csv", HEADERS, rows(ctx))
+    return text

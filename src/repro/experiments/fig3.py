@@ -1,0 +1,70 @@
+"""Figure 3 — speedup vs. number of tested configurations.
+
+One point per completed (application, algorithm, threshold) search,
+plus the paper's headline histogram: "Most of the tested
+configurations resulted in a speedup between 1.0 - 1.2.  A limited
+number of scenarios were able to produce higher speedups."
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.context import ExperimentContext
+from repro.harness.reporting import format_speedup, format_table, write_csv
+
+__all__ = ["rows", "histogram", "render", "run", "HEADERS"]
+
+HEADERS = ("application", "algorithm", "threshold", "evaluations", "speedup")
+
+_BINS = ((0.0, 1.0), (1.0, 1.2), (1.2, 1.6), (1.6, 2.0), (2.0, math.inf))
+
+
+def rows(ctx: ExperimentContext) -> list[list]:
+    out = []
+    for result in ctx.application_grid():
+        outcome = result.outcome
+        if outcome is None or outcome.timed_out or not outcome.found_solution:
+            continue
+        out.append([
+            outcome.program, outcome.strategy, f"{outcome.threshold:g}",
+            outcome.evaluations, format_speedup(outcome.speedup),
+        ])
+    return out
+
+
+def histogram(ctx: ExperimentContext) -> dict[str, int]:
+    """Completed searches bucketed by achieved speedup."""
+    counts = {f"{lo:g}-{hi:g}": 0 for lo, hi in _BINS}
+    for result in ctx.application_grid():
+        outcome = result.outcome
+        if outcome is None or outcome.timed_out or not outcome.found_solution:
+            continue
+        su = outcome.speedup
+        if math.isnan(su):
+            continue
+        for lo, hi in _BINS:
+            if lo <= su < hi:
+                counts[f"{lo:g}-{hi:g}"] += 1
+                break
+    return counts
+
+
+def render(ctx: ExperimentContext) -> str:
+    table = format_table(
+        HEADERS, rows(ctx),
+        "Figure 3 data: speedup vs tested configurations (all completed searches)",
+    )
+    hist = histogram(ctx)
+    hist_table = format_table(
+        ("speedup bin", "searches"),
+        [[k, v] for k, v in hist.items()],
+        "Figure 3 summary: speedup distribution",
+    )
+    return table + "\n\n" + hist_table
+
+
+def run(ctx: ExperimentContext, results_dir="results") -> str:
+    text = render(ctx)
+    write_csv(f"{results_dir}/fig3.csv", HEADERS, rows(ctx))
+    return text

@@ -1,0 +1,85 @@
+"""The paper's published evaluation numbers, as structured data.
+
+Transcribed from the IISWC 2020 tables so that the reproduction can be
+compared against the original *programmatically* (see
+:mod:`repro.experiments.compare`).  ``None`` marks cells that are
+unreadable in the available copy of the paper.
+
+Units follow the paper: Table III qualities are in 1e-9; speedups are
+ratios; Table IV quality loss is in the benchmark's own metric.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ALGORITHMS", "TABLE2", "TABLE3_QUALITY", "TABLE3_EV", "TABLE3_SU",
+    "TABLE4",
+]
+
+ALGORITHMS = ("CB", "CM", "DD", "HR", "HC", "GA")
+
+#: Table II — Total Variables, Total Clusters
+TABLE2: dict[str, tuple[int, int]] = {
+    "banded-lin-eq": (2, 1), "diff-predictor": (5, 1), "eos": (7, 2),
+    "gen-lin-recur": (4, 1), "hydro-1d": (6, 2), "iccg": (2, 1),
+    "innerprod": (3, 2), "int-predict": (9, 2), "planckian": (6, 2),
+    "tridiag": (3, 1),
+    "blackscholes": (59, 50), "cfd": (195, 25), "hotspot": (36, 22),
+    "hpccg": (54, 27), "kmeans": (26, 15), "lavamd": (47, 11),
+    "srad": (29, 14),
+}
+
+#: Table III — found-configuration quality, 1e-9 units, CB/CM/DD/HR/HC/GA
+TABLE3_QUALITY: dict[str, tuple] = {
+    "banded-lin-eq": (9.94, 9.94, 9.94, 9.94, 9.94, 9.94),
+    "diff-predictor": (9.94, 9.94, 9.94, 9.94, 9.94, 9.94),
+    "eos": (0.0, 0.0, 0.0, 1.13, 1.13, 0.0),
+    "gen-lin-recur": (0.0, 0.0, 0.0, 6.39, 6.39, 0.0),
+    "hydro-1d": (2.71, 2.71, 2.71, 2.71, 2.71, 2.71),
+    "iccg": (9.94, 9.94, 9.94, 9.94, 9.94, 9.94),
+    "innerprod": (0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+    "int-predict": (1.74, 1.74, 1.74, 1.74, 0.24, 1.74),
+    "planckian": (0.0, 0.0, 0.0, 6.37, 6.37, 0.0),
+    "tridiag": (0.0, 0.0, 0.0, 6.42, 6.42, 0.0),
+}
+
+#: Table III — evaluated configurations
+TABLE3_EV: dict[str, tuple] = {
+    "banded-lin-eq": (1, 1, 1, 1, 1, 2),
+    "diff-predictor": (1, 1, 1, 1, 1, 2),
+    "eos": (2, 2, 2, 12, 9, 4),
+    "gen-lin-recur": (1, 1, 1, 7, 6, 2),
+    "hydro-1d": (2, 3, 2, 1, 1, 4),
+    "iccg": (1, 1, 1, 1, 1, 2),
+    "innerprod": (2, 2, 2, 5, 5, 4),
+    "int-predict": (2, 2, 2, 110, 11, 3),
+    "planckian": (2, 2, 2, 23, 8, 4),
+    "tridiag": (1, 1, 1, 8, 5, 2),
+}
+
+#: Table III — speedups (None where the scan is unreadable)
+TABLE3_SU: dict[str, tuple] = {
+    "banded-lin-eq": (4.45, 4.46, 4.52, 4.53, 4.47, 4.45),
+    "diff-predictor": (1.6, 1.6, 1.6, 1.6, 1.6, 1.6),
+    "eos": (0.99, 1.0, 1.0, 0.98, 1.0, 1.0),
+    "gen-lin-recur": (0.98, 1.01, 1.01, 0.92, 0.91, 1.0),
+    "hydro-1d": (1.7, 1.74, 1.74, 1.74, 1.74, 1.69),
+    "iccg": (1.9, 1.9, 1.89, 1.91, 1.89, 1.91),
+    "innerprod": (1.01, 1.01, 1.01, 1.01, 1.01, 1.01),
+    "int-predict": (1.49, 1.51, 1.48, 1.51, None, None),
+    "planckian": (1.0, 0.99, 1.0, 1.02, 1.0, 0.99),
+    "tridiag": (0.99, 1.0, 0.99, 1.02, 1.01, 1.0),
+}
+
+#: Table IV — manual all-single conversion: (speedup, metric, loss)
+TABLE4: dict[str, tuple] = {
+    "blackscholes": (1.04, "MAE", 4.10e-6),
+    "cfd": (1.38, "MAE", 1.10e-7),
+    "hotspot": (1.78, "MAE", 3.08e-10),
+    "hpccg": (1.00, "MAE", 2.0e-6),
+    "kmeans": (0.96, "MCR", 0.0),
+    "lavamd": (2.66, "MAE", 3.38e-4),
+    "srad": (1.48, "MAE", math.nan),
+}

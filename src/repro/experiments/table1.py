@@ -1,0 +1,27 @@
+"""Table I — kernels included in HPC-MixPBench."""
+
+from __future__ import annotations
+
+from repro.benchmarks.base import get_benchmark, kernel_benchmarks
+from repro.harness.reporting import format_table, write_csv
+
+__all__ = ["rows", "render", "run"]
+
+HEADERS = ("Name", "Description")
+
+
+def rows() -> list[list[str]]:
+    return [
+        [name, get_benchmark(name).description]
+        for name in kernel_benchmarks()
+    ]
+
+
+def render() -> str:
+    return format_table(HEADERS, rows(), "Table I: kernels included in HPC-MixPBench")
+
+
+def run(results_dir="results") -> str:
+    text = render()
+    write_csv(f"{results_dir}/table1.csv", HEADERS, rows())
+    return text

@@ -1,0 +1,51 @@
+"""Table II — Total Variables (TV) and Total Clusters (TC) per program.
+
+Regenerates the paper's Typeforge complexity table by running the
+type-dependence analysis over every benchmark in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks.base import (
+    application_benchmarks, get_benchmark, kernel_benchmarks,
+)
+from repro.harness.reporting import format_table, write_csv
+
+__all__ = ["rows", "render", "run", "PAPER_VALUES"]
+
+HEADERS = ("Name", "Category", "TV", "TC")
+
+#: the paper's Table II, for side-by-side comparison in EXPERIMENTS.md
+PAPER_VALUES = {
+    "banded-lin-eq": (2, 1), "diff-predictor": (5, 1), "eos": (7, 2),
+    "gen-lin-recur": (4, 1), "hydro-1d": (6, 2), "iccg": (2, 1),
+    "innerprod": (3, 2), "int-predict": (9, 2), "planckian": (6, 2),
+    "tridiag": (3, 1),
+    "blackscholes": (59, 50), "cfd": (195, 25), "hotspot": (36, 22),
+    "hpccg": (54, 27), "kmeans": (26, 15), "lavamd": (47, 11),
+    "srad": (29, 14),
+}
+
+
+def rows() -> list[list]:
+    out = []
+    for name in kernel_benchmarks():
+        report = get_benchmark(name).report()
+        out.append([name, "kernel", report.total_variables, report.total_clusters])
+    for name in application_benchmarks():
+        report = get_benchmark(name).report()
+        out.append([name, "application", report.total_variables, report.total_clusters])
+    return out
+
+
+def render() -> str:
+    return format_table(
+        HEADERS, rows(),
+        "Table II: variables (TV) and clusters (TC) identified by Typeforge",
+    )
+
+
+def run(results_dir="results") -> str:
+    text = render()
+    write_csv(f"{results_dir}/table2.csv", HEADERS, rows())
+    return text

@@ -1,0 +1,65 @@
+"""Table III — evaluation results of the kernel codes.
+
+For every kernel and all six search algorithms at the strict 1e-8
+threshold, reports the paper's three metrics: Quality (in 1e-9 units,
+like the paper's column header), Evaluated Configurations (EV) and
+Speedup (SU).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.benchmarks.base import kernel_benchmarks
+from repro.experiments.context import KERNEL_ALGORITHMS, KERNEL_THRESHOLD, ExperimentContext
+from repro.harness.reporting import format_speedup, format_table, write_csv
+
+__all__ = ["rows", "render", "run", "HEADERS"]
+
+HEADERS = (
+    "Application",
+    *(f"Q({a})" for a in KERNEL_ALGORITHMS),
+    *(f"EV({a})" for a in KERNEL_ALGORITHMS),
+    *(f"SU({a})" for a in KERNEL_ALGORITHMS),
+)
+
+
+def _quality_nano(value: float) -> str:
+    """Quality in the paper's 1e-9 units."""
+    if value is None or math.isnan(value):
+        return "-"
+    if value == 0:
+        return "0.0"
+    return f"{value / 1e-9:.2f}"
+
+
+def rows(ctx: ExperimentContext) -> list[list[str]]:
+    ctx.kernel_grid()  # bulk-schedule everything first
+    out = []
+    for program in kernel_benchmarks():
+        quality, evaluated, speedup = [], [], []
+        for algorithm in KERNEL_ALGORITHMS:
+            outcome = ctx.outcome(program, algorithm, KERNEL_THRESHOLD)
+            if outcome is None or outcome.timed_out:
+                quality.append("-")
+                evaluated.append("-" if outcome is None else str(outcome.evaluations))
+                speedup.append("-")
+                continue
+            quality.append(_quality_nano(outcome.error_value))
+            evaluated.append(str(outcome.evaluations))
+            speedup.append(format_speedup(outcome.speedup))
+        out.append([program, *quality, *evaluated, *speedup])
+    return out
+
+
+def render(ctx: ExperimentContext) -> str:
+    return format_table(
+        HEADERS, rows(ctx),
+        "Table III: kernel evaluation (quality in 1e-9 units, threshold 1e-8)",
+    )
+
+
+def run(ctx: ExperimentContext, results_dir="results") -> str:
+    text = render(ctx)
+    write_csv(f"{results_dir}/table3.csv", HEADERS, rows(ctx))
+    return text

@@ -1,0 +1,67 @@
+"""Table V — application evaluation at thresholds 1e-3 / 1e-6 / 1e-8.
+
+One sub-table per threshold with the paper's columns: Speedup,
+Evaluated Configs and Quality for CM, DD, HR, HC and GA.  Cells render
+as ``-`` when the algorithm produced no result within the simulated
+24-hour budget (the paper's empty gray boxes).
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks.base import application_benchmarks
+from repro.experiments.context import APP_ALGORITHMS, APP_THRESHOLDS, ExperimentContext
+from repro.harness.reporting import (
+    format_quality, format_speedup, format_table, write_csv,
+)
+
+__all__ = ["rows_for_threshold", "render", "run", "HEADERS"]
+
+HEADERS = (
+    "Application",
+    *(f"SU({a})" for a in APP_ALGORITHMS),
+    *(f"EV({a})" for a in APP_ALGORITHMS),
+    *(f"Q({a})" for a in APP_ALGORITHMS),
+)
+
+
+def rows_for_threshold(ctx: ExperimentContext, threshold: float) -> list[list[str]]:
+    ctx.application_grid()  # bulk-schedule the full grid first
+    out = []
+    for program in application_benchmarks():
+        speedup, evaluated, quality = [], [], []
+        for algorithm in APP_ALGORITHMS:
+            outcome = ctx.outcome(program, algorithm, threshold)
+            if outcome is None or outcome.timed_out or not outcome.found_solution:
+                # the paper's gray cell: no result within 24 hours (or
+                # the search converged to nothing convertible)
+                timed_out = outcome is not None and outcome.timed_out
+                speedup.append("-")
+                evaluated.append("-" if timed_out or outcome is None
+                                 else str(outcome.evaluations))
+                quality.append("-")
+                continue
+            speedup.append(format_speedup(outcome.speedup))
+            evaluated.append(str(outcome.evaluations))
+            quality.append(format_quality(outcome.error_value))
+        out.append([program, *speedup, *evaluated, *quality])
+    return out
+
+
+def render(ctx: ExperimentContext) -> str:
+    parts = []
+    for threshold in APP_THRESHOLDS:
+        parts.append(format_table(
+            HEADERS, rows_for_threshold(ctx, threshold),
+            f"Table V (threshold {threshold:g}): application evaluation",
+        ))
+    return "\n\n".join(parts)
+
+
+def run(ctx: ExperimentContext, results_dir="results") -> str:
+    text = render(ctx)
+    for threshold in APP_THRESHOLDS:
+        write_csv(
+            f"{results_dir}/table5-{threshold:g}.csv",
+            HEADERS, rows_for_threshold(ctx, threshold),
+        )
+    return text

@@ -1,0 +1,24 @@
+"""Harness: YAML-driven deployment, analysis plugins, scheduling."""
+
+from repro.harness.config import AnalysisSpec, HarnessConfig, load_config, parse_config
+from repro.harness.plugins import (
+    AnalysisPlugin,
+    AnalysisResult,
+    DeployedApp,
+    FloatSmithPlugin,
+    available_plugins,
+    get_plugin,
+    register_plugin,
+)
+from repro.harness.reporting import format_quality, format_speedup, format_table, write_csv
+from repro.harness.runner import AnalysisReport, Harness, HarnessReport
+from repro.harness.scheduler import JobResult, SearchJob, grid_jobs, run_grid
+
+__all__ = [
+    "HarnessConfig", "AnalysisSpec", "load_config", "parse_config",
+    "AnalysisPlugin", "FloatSmithPlugin", "DeployedApp", "AnalysisResult",
+    "register_plugin", "get_plugin", "available_plugins",
+    "Harness", "HarnessReport", "AnalysisReport",
+    "SearchJob", "JobResult", "grid_jobs", "run_grid",
+    "format_table", "format_quality", "format_speedup", "write_csv",
+]

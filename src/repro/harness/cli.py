@@ -1,0 +1,245 @@
+"""Command-line interface: the ``mixpbench`` entry point.
+
+Subcommands::
+
+    mixpbench list                         # suite inventory
+    mixpbench analyze BENCH                # Typeforge TV/TC report
+    mixpbench run CONFIG.yaml              # run a YAML harness file
+    mixpbench search BENCH --algorithm DD  # one ad-hoc search
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchmarks.base import (
+    application_benchmarks, get_benchmark, kernel_benchmarks,
+)
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.harness.reporting import format_quality, format_speedup, format_table
+from repro.harness.runner import Harness
+from repro.search.registry import available_strategies, make_strategy
+from repro.verify.quality import QualitySpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mixpbench",
+        description="HPC-MixPBench: mixed-precision analysis harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    analyze = sub.add_parser("analyze", help="run the Typeforge analysis on a benchmark")
+    analyze.add_argument("benchmark")
+    analyze.add_argument(
+        "--explain", nargs=2, metavar=("VAR_A", "VAR_B"), default=None,
+        help="show the dependence chain forcing two variables into one cluster",
+    )
+
+    run = sub.add_parser("run", help="run a YAML harness configuration")
+    run.add_argument("config")
+    run.add_argument("--output-dir", default="results")
+
+    search = sub.add_parser("search", help="run one mixed-precision search")
+    search.add_argument("benchmark")
+    search.add_argument("--algorithm", default="DD", help=f"one of {available_strategies()}")
+    search.add_argument("--threshold", type=float, default=None)
+    search.add_argument("--metric", default=None)
+    search.add_argument("--max-evaluations", type=int, default=None)
+    search.add_argument(
+        "--timing", choices=["modeled", "wall"], default="modeled",
+        help="runtime source: roofline model (default) or host wall clock",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="machine-model runtime breakdown of a benchmark",
+    )
+    profile.add_argument("benchmark")
+    profile.add_argument(
+        "--precision", default="double",
+        help="uniform precision to profile (double/single/half)",
+    )
+
+    report = sub.add_parser(
+        "report", help="analyse saved search outcomes (interchange JSON)",
+    )
+    report.add_argument(
+        "outcomes", nargs="+",
+        help="outcome JSON files (e.g. results/searches/*.json)",
+    )
+    report.add_argument(
+        "--convergence", action="store_true",
+        help="also print each outcome's best-speedup-so-far curve",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = []
+    for name in kernel_benchmarks():
+        rows.append([name, "kernel", get_benchmark(name).description])
+    for name in application_benchmarks():
+        rows.append([name, "application", get_benchmark(name).description])
+    print(format_table(["name", "category", "description"], rows, "HPC-MixPBench suite"))
+    return 0
+
+
+def _cmd_analyze(name: str, explain: list[str] | None = None) -> int:
+    bench = get_benchmark(name)
+    report = bench.report()
+    if explain is not None:
+        uid_a, uid_b = explain
+        chain = report.explain(uid_a, uid_b)
+        if chain is None:
+            print(f"{uid_a} and {uid_b} are type-independent "
+                  "(changing one never forces the other)")
+        elif not chain:
+            print(f"{uid_a} and {uid_b} are the same entity")
+        else:
+            print(f"{uid_a} must share a base type with {uid_b} because:")
+            for step in chain:
+                print(f"  {step}")
+        return 0
+    print(f"{bench.name}: TV={report.total_variables} TC={report.total_clusters}")
+    rows = [[c.cid, len(c), ", ".join(sorted(c.members))] for c in report.clusters]
+    print(format_table(["cluster", "size", "members"], rows))
+    return 0
+
+
+def _cmd_run(config: str, output_dir: str) -> int:
+    harness = Harness(output_dir=output_dir)
+    for report in harness.run_file(config):
+        print(f"\n{report.name} ({report.metric} <= {report.threshold:g})")
+        rows = []
+        for a in report.analyses:
+            rows.append([
+                a.identifier, a.strategy, a.evaluations,
+                f"{a.analysis_hours:.2f}h",
+                "timeout" if a.timed_out else ("ok" if a.found_solution else "none"),
+                format_speedup(a.speedup), format_quality(a.error_value),
+            ])
+        print(format_table(
+            ["analysis", "strategy", "EV", "time", "status", "SU", "AC"], rows,
+        ))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.evaluator import TimingMode
+
+    bench = get_benchmark(args.benchmark)
+    threshold = args.threshold if args.threshold is not None else bench.default_threshold
+    quality = QualitySpec(args.metric or bench.metric, threshold)
+    timing = TimingMode.WALL_CLOCK if args.timing == "wall" else TimingMode.MODELED
+    evaluator = ConfigurationEvaluator(
+        bench, quality=quality, max_evaluations=args.max_evaluations,
+        timing=timing,
+    )
+    outcome = make_strategy(args.algorithm).run(evaluator)
+    status = "timeout" if outcome.timed_out else ("ok" if outcome.found_solution else "none")
+    print(f"{bench.name} / {outcome.strategy} @ {threshold:g}: {status}")
+    print(f"  evaluated configurations: {outcome.evaluations}")
+    print(f"  analysis time: {outcome.analysis_seconds / 3600.0:.2f} simulated hours")
+    if outcome.found_solution:
+        print(f"  speedup: {format_speedup(outcome.speedup)}")
+        print(f"  quality: {format_quality(outcome.error_value)}")
+        lowered = sorted(outcome.final.config.lowered_locations())
+        print(f"  lowered variables ({len(lowered)}): {', '.join(lowered)}")
+    return 0
+
+
+def _cmd_profile(name: str, precision_name: str) -> int:
+    from repro.core.types import Precision, PrecisionConfig
+
+    bench = get_benchmark(name)
+    precision = Precision.from_name(precision_name)
+    if precision is Precision.DOUBLE:
+        config = PrecisionConfig()
+    else:
+        config = bench.search_space().uniform_config(precision)
+    result = bench.execute(config)
+    machine = bench.machine
+    breakdown = machine.breakdown(result.profile)
+    summary = result.profile.summary()
+
+    print(f"{bench.name} @ uniform {precision.value} "
+          f"(machine model: {machine.name})")
+    print(f"  modeled runtime : {result.modeled_seconds * 1e3:.3f} modeled ms")
+    print(f"  working set     : {summary['peak_footprint'] / 2**20:.2f} MiB "
+          f"(effective bandwidth {breakdown['bandwidth'] / 1e9:.0f} GB/s)")
+    print("  time breakdown:")
+    for component in ("compute", "memory", "casts", "gathers", "call_overhead"):
+        seconds = breakdown[component]
+        share = seconds / result.modeled_seconds if result.modeled_seconds else 0.0
+        print(f"    {component:14s}: {seconds * 1e3:9.3f} ms  ({share:5.1%})")
+    print("  operation mix (element ops):")
+    for bucket, count in summary["ops"].items():
+        print(f"    {bucket:18s}: {count:,.0f}")
+    print(f"  memory traffic  : {summary['bytes_read'] / 2**20:.1f} MiB read, "
+          f"{summary['bytes_written'] / 2**20:.1f} MiB written")
+    if summary["io_bytes"]:
+        print(f"  file I/O        : {summary['io_bytes'] / 2**20:.2f} MiB")
+    return 0
+
+
+def _cmd_report(paths: list[str], show_convergence: bool) -> int:
+    from repro.analysis import (
+        convergence_curve, effort_summary, summarize_many,
+        time_to_first_solution,
+    )
+    from repro.core.results import SearchOutcome
+
+    outcomes = [SearchOutcome.load(path) for path in paths]
+    problems = {(o.program, o.threshold) for o in outcomes}
+    if len(problems) == 1 and len(outcomes) > 1:
+        program, threshold = next(iter(problems))
+        print(f"{program} @ threshold {threshold:g} — ranked best-first:")
+        for line in summarize_many(outcomes):
+            print(f"  {line}")
+    else:
+        for outcome in outcomes:
+            print(f"{outcome.program} / {outcome.strategy} "
+                  f"@ {outcome.threshold:g}:")
+            print(f"  {effort_summary(outcome)}")
+            first = time_to_first_solution(outcome)
+            if first:
+                evaluations, seconds = first
+                print(f"  first solution after {evaluations} evaluations "
+                      f"({seconds / 3600.0:.2f} simulated hours)")
+
+    if show_convergence:
+        for outcome in outcomes:
+            print(f"\nconvergence of {outcome.strategy} on {outcome.program}:")
+            previous = None
+            for point in convergence_curve(outcome):
+                if point.best_speedup != previous:
+                    print(f"  after {point.evaluations:4d} evaluations: "
+                          f"{point.best_speedup:.3f}x")
+                    previous = point.best_speedup
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "analyze":
+        return _cmd_analyze(args.benchmark, args.explain)
+    if args.command == "run":
+        return _cmd_run(args.config, args.output_dir)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "profile":
+        return _cmd_profile(args.benchmark, args.precision)
+    if args.command == "report":
+        return _cmd_report(args.outcomes, args.convergence)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Rendering of result tables and figure series.
+
+The experiments in :mod:`repro.experiments` produce structured rows;
+this module turns them into aligned text tables (what the benches
+print) and CSV files (what downstream plotting consumes).  No plotting
+library is assumed: "figures" are emitted as their data series.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["format_table", "write_csv", "format_quality", "format_speedup"]
+
+
+def format_quality(value: float) -> str:
+    """Render an error value the way the paper's tables do.
+
+    NaN renders as ``NaN`` (the SRAD case), exact zero as ``0``; other
+    magnitudes use power-of-ten notation.
+    """
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NaN"
+    if value == 0:
+        return "0"
+    exponent = math.floor(math.log10(abs(value)))
+    mantissa = value / 10 ** exponent
+    if abs(mantissa - 1.0) < 0.05:
+        return f"10^{exponent}"
+    return f"{mantissa:.2f}e{exponent}"
+
+
+def format_speedup(value: float) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value:.2f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Align rows under headers, markdown-pipe style."""
+    table = [list(map(str, headers))] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+
+    def render(row: list[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render(table[0]))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render(row) for row in table[1:])
+    return "\n".join(lines)
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> Path:
+    """Write rows to CSV, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

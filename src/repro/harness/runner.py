@@ -1,0 +1,138 @@
+"""The harness: deploy, analyse, verify (paper Section III-A.c).
+
+"Invoking the harness with the YAML configuration file runs the
+analysis Python code, which compiles the application, executes the
+generated binaries, and performs the prescribed analysis and
+evaluation to quantify quality loss and to measure execution time."
+
+:class:`Harness` does exactly that against the suite registry: it
+deploys the configured benchmark (input generation plays the role of
+``make``), hands it to each configured analysis plugin, then
+re-executes the tuned configuration to report its verified quality
+and speedup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.benchmarks.base import Benchmark, get_benchmark
+from repro.core.evaluator import measured_seconds
+from repro.core.types import PrecisionConfig
+from repro.harness.config import HarnessConfig, load_config
+from repro.harness.plugins import AnalysisResult, DeployedApp, get_plugin
+from repro.verify.quality import QualitySpec
+
+__all__ = ["AnalysisReport", "HarnessReport", "Harness"]
+
+
+@dataclass
+class AnalysisReport:
+    """Verified result of one analysis on one benchmark."""
+
+    identifier: str
+    plugin: str
+    strategy: str
+    artifact: Path
+    evaluations: int
+    analysis_hours: float
+    timed_out: bool
+    found_solution: bool
+    speedup: float = math.nan
+    error_value: float = math.nan
+    config: PrecisionConfig | None = None
+
+
+@dataclass
+class HarnessReport:
+    """All analyses of one harness entry."""
+
+    name: str
+    benchmark: str
+    metric: str
+    threshold: float
+    analyses: list[AnalysisReport] = field(default_factory=list)
+
+
+class Harness:
+    """Deploys benchmarks and runs configured analyses on them."""
+
+    def __init__(self, output_dir: str | Path = "results") -> None:
+        self.output_dir = Path(output_dir)
+
+    def run_file(self, path: str | Path) -> list[HarnessReport]:
+        """Run every entry of a YAML configuration file."""
+        return [self.run_entry(entry) for entry in load_config(path)]
+
+    def run_entry(self, entry: HarnessConfig) -> HarnessReport:
+        """Deploy one benchmark and run all its configured analyses."""
+        bench = get_benchmark(entry.benchmark)
+        quality = self._quality_for(bench, entry)
+        report = HarnessReport(
+            name=entry.name,
+            benchmark=bench.name,
+            metric=quality.metric,
+            threshold=quality.threshold,
+        )
+        bench.inputs()  # "build": generate inputs / data files
+        app = DeployedApp(
+            benchmark=bench,
+            quality=quality,
+            runs_per_config=entry.runs or bench.runs_per_config,
+            time_limit_seconds=entry.time_limit_hours * 3600.0,
+            output_dir=self.output_dir / entry.name,
+        )
+        for spec in entry.analyses:
+            plugin = get_plugin(spec.plugin)
+            result = plugin.analysis(app, **dict(spec.extra_args))
+            report.analyses.append(
+                self._verify(spec.identifier, spec.plugin, bench, quality, result)
+            )
+        return report
+
+    @staticmethod
+    def _quality_for(bench: Benchmark, entry: HarnessConfig) -> QualitySpec:
+        metric = entry.metric or bench.metric
+        threshold = entry.threshold if entry.threshold is not None else bench.default_threshold
+        return QualitySpec(metric, threshold)
+
+    def _verify(
+        self,
+        identifier: str,
+        plugin_name: str,
+        bench: Benchmark,
+        quality: QualitySpec,
+        result: AnalysisResult,
+    ) -> AnalysisReport:
+        """Re-run the tuned configuration for final quality/timing —
+        the harness's own evaluation step, independent of whatever the
+        search measured along the way."""
+        outcome = result.outcome
+        report = AnalysisReport(
+            identifier=identifier,
+            plugin=plugin_name,
+            strategy=outcome.strategy,
+            artifact=result.artifact,
+            evaluations=outcome.evaluations,
+            analysis_hours=outcome.analysis_seconds / 3600.0,
+            timed_out=outcome.timed_out,
+            found_solution=outcome.found_solution,
+        )
+        if not outcome.found_solution:
+            return report
+        config = outcome.final.config
+        baseline = bench.execute(PrecisionConfig())
+        tuned = bench.execute(config)
+        report.error_value = quality.measure(baseline.output, tuned.output)
+        base_t = measured_seconds(
+            baseline.modeled_seconds, "baseline:" + PrecisionConfig().digest(),
+            bench.runs_per_config,
+        )
+        tuned_t = measured_seconds(
+            tuned.modeled_seconds, config.digest(), bench.runs_per_config,
+        )
+        report.speedup = base_t / tuned_t if tuned_t > 0 else math.nan
+        report.config = config
+        return report

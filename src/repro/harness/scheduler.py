@@ -1,0 +1,108 @@
+"""Parallel scheduling of analysis jobs.
+
+"We use the support of HPC-MixPBench's harness to schedule each
+analysis in parallel on a cluster ...  The harness offloads the search
+for each combination of an application/algorithm to a separate node
+but executes all the final binaries on the same node for consistency"
+(paper Section IV).  A SLURM cluster is unavailable here, so the
+scheduler fans the (program × algorithm × threshold) grid out over a
+local worker pool instead; the *final* verification runs serially
+through the Harness on "the same node", preserving the paper's
+consistency discipline.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.benchmarks.base import get_benchmark
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.results import SearchOutcome
+from repro.search.registry import canonical_name, make_strategy
+from repro.verify.quality import QualitySpec
+
+__all__ = ["SearchJob", "JobResult", "run_grid", "grid_jobs"]
+
+_DEFAULT_TIME_LIMIT = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class SearchJob:
+    """One (program, algorithm, threshold) analysis to schedule."""
+
+    program: str
+    algorithm: str
+    threshold: float
+    metric: str | None = None
+    time_limit_seconds: float = _DEFAULT_TIME_LIMIT
+    max_evaluations: int | None = None
+
+    def label(self) -> str:
+        return f"{self.program}/{canonical_name(self.algorithm)}@{self.threshold:g}"
+
+
+@dataclass
+class JobResult:
+    """Outcome (or failure) of one scheduled job."""
+
+    job: SearchJob
+    outcome: SearchOutcome | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is not None
+
+
+def grid_jobs(
+    programs: Sequence[str],
+    algorithms: Sequence[str],
+    thresholds: Sequence[float],
+    time_limit_seconds: float = _DEFAULT_TIME_LIMIT,
+    max_evaluations: int | None = None,
+) -> list[SearchJob]:
+    """The full cross product the paper's evaluation runs."""
+    return [
+        SearchJob(
+            program=program,
+            algorithm=algorithm,
+            threshold=threshold,
+            time_limit_seconds=time_limit_seconds,
+            max_evaluations=max_evaluations,
+        )
+        for program in programs
+        for algorithm in algorithms
+        for threshold in thresholds
+    ]
+
+
+def _run_job(job: SearchJob) -> JobResult:
+    try:
+        bench = get_benchmark(job.program)
+        quality = QualitySpec(job.metric or bench.metric, job.threshold)
+        evaluator = ConfigurationEvaluator(
+            bench,
+            quality=quality,
+            time_limit_seconds=job.time_limit_seconds,
+            max_evaluations=job.max_evaluations,
+        )
+        strategy = make_strategy(job.algorithm)
+        return JobResult(job=job, outcome=strategy.run(evaluator))
+    except Exception:  # noqa: BLE001 — a failed job must not sink the grid
+        return JobResult(job=job, error=traceback.format_exc())
+
+
+def run_grid(jobs: Iterable[SearchJob], workers: int = 1) -> list[JobResult]:
+    """Run analysis jobs, optionally on a worker pool.
+
+    Results are returned in submission order regardless of completion
+    order, so downstream tables are deterministic.
+    """
+    jobs = list(jobs)
+    if workers <= 1:
+        return [_run_job(job) for job in jobs]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_job, jobs))

@@ -1,0 +1,19 @@
+"""Runtime library: precision-agnostic allocation, typed I/O, profiling,
+and the roofline machine model (the paper's runtime library analogue)."""
+
+from repro.runtime.io import mp_fread, mp_fwrite, read_typed, write_typed
+from repro.runtime.machine import (
+    DEFAULT_MACHINE, HBM_ACCELERATOR_MACHINE, MACHINE_PRESETS,
+    WIDE_VECTOR_MACHINE, CacheLevel, MachineModel,
+)
+from repro.runtime.memory import Workspace
+from repro.runtime.mparray import MPArray, unwrap, wrap
+from repro.runtime.profiler import OpClass, Profile
+
+__all__ = [
+    "Workspace", "MPArray", "unwrap", "wrap",
+    "Profile", "OpClass",
+    "MachineModel", "CacheLevel", "DEFAULT_MACHINE",
+    "WIDE_VECTOR_MACHINE", "HBM_ACCELERATOR_MACHINE", "MACHINE_PRESETS",
+    "mp_fread", "mp_fwrite", "read_typed", "write_typed",
+]

@@ -1,0 +1,176 @@
+"""Precision-agnostic allocation: the Workspace.
+
+This is the Python analogue of the paper's runtime library
+(``mp_malloc`` and friends, Listing 3): benchmarks never hard-code a
+floating dtype.  Instead they declare every floating-point variable
+through a :class:`Workspace`, which resolves the variable's precision
+from the active :class:`~repro.core.types.PrecisionConfig`:
+
+* ``ws.array("x", n)`` — the analogue of ``mp_malloc``: a heap array
+  whose element type is whatever the configuration assigns to ``x``;
+* ``ws.scalar("s", 3.0)`` — a typed local scalar (a C ``double s``);
+* ``ws.param("p", p)`` — a typed function parameter: scalars are
+  coerced to the parameter's configured precision on entry (the
+  implicit cast C performs at a call site), arrays pass through
+  unchanged (their type is pinned by the cluster constraint).
+
+The workspace owns the execution's :class:`Profile` and tracks the
+live array footprint that drives the machine model's cache tiering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.types import Precision, PrecisionConfig
+from repro.errors import MixPBenchError, UnknownVariableError
+from repro.runtime.mparray import MPArray, unwrap
+from repro.runtime.profiler import Profile
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Runtime context for one benchmark execution.
+
+    Parameters
+    ----------
+    config:
+        Precision assignment for the program's variables.  Defaults to
+        the all-double baseline.
+    name_map:
+        Mapping from the bare names used in ``ws.array("x", ...)``
+        calls to the qualified variable uids (``"function.x"``) used in
+        configurations.  Produced by the Typeforge scan; when absent,
+        bare names are used directly.
+    seed:
+        Seed for the workspace RNG used by benchmarks to generate
+        reproducible random inputs.
+    strict:
+        When true, looking up a variable that the name map does not
+        know raises :class:`UnknownVariableError`; when false the bare
+        name is used as the uid (handy for ad-hoc experimentation).
+    """
+
+    def __init__(
+        self,
+        config: PrecisionConfig | None = None,
+        name_map: Mapping[str, str] | None = None,
+        seed: int = 0,
+        strict: bool = False,
+    ) -> None:
+        self.config = config if config is not None else PrecisionConfig()
+        self._name_map = dict(name_map) if name_map else {}
+        self.profile = Profile()
+        self.rng = np.random.default_rng(seed)
+        self._arrays: dict[str, MPArray] = {}
+        self._strict = strict
+
+    # -- name resolution ---------------------------------------------------
+    def resolve(self, name: str) -> str:
+        """Qualified uid for a bare declaration name."""
+        if name in self._name_map:
+            return self._name_map[name]
+        if self._strict:
+            raise UnknownVariableError(
+                f"variable {name!r} is not declared by this program"
+            )
+        return name
+
+    def precision_of(self, name: str) -> Precision:
+        return self.config.precision_of(self.resolve(name))
+
+    def dtype_of(self, name: str) -> np.dtype:
+        return self.precision_of(name).dtype
+
+    # -- declarations --------------------------------------------------------
+    def array(
+        self,
+        name: str,
+        shape: int | tuple[int, ...] | None = None,
+        init: Any = None,
+        fill: float | None = None,
+    ) -> MPArray:
+        """Declare and allocate a floating array variable.
+
+        Exactly one of ``shape`` (uninitialised/filled allocation) or
+        ``init`` (copy-convert existing data, like ``mp_fread``) must
+        be provided.
+        """
+        dtype = self.dtype_of(name)
+        if (shape is None) == (init is None):
+            raise ValueError("provide exactly one of shape= or init=")
+        if init is not None:
+            # Initialisation happens in the variable's own type (a C
+            # kernel writes `x[i] = (float)f(i)` directly), so the
+            # conversion is not charged as a runtime cast; file-driven
+            # conversions go through mp_fread, which does charge it.
+            source = np.asarray(unwrap(init))
+            data = source.astype(dtype)
+        else:
+            if fill is not None:
+                data = np.full(shape, fill, dtype=dtype)
+            else:
+                data = np.zeros(shape, dtype=dtype)
+        arr = MPArray(data, self.profile)
+        previous = self._arrays.get(name)
+        if previous is not None:
+            self.profile.track_free(previous.nbytes)
+        self._arrays[name] = arr
+        self.profile.track_alloc(arr.nbytes)
+        return arr
+
+    def scalar(self, name: str, value: float) -> np.generic:
+        """Declare a typed scalar variable (a C local declaration).
+
+        The returned NumPy scalar behaves like a C variable of the
+        configured type under NEP-50 promotion: a double scalar forces
+        double math, a float scalar keeps float expressions narrow.
+        """
+        dtype = self.dtype_of(name)
+        return dtype.type(unwrap(value))
+
+    def param(self, name: str, value: Any) -> Any:
+        """Declare a typed function parameter.
+
+        Scalar arguments are coerced to the parameter's precision (the
+        implicit cast at a C call site).  Array arguments must already
+        match: the type-dependence clusters guarantee that any
+        compilable configuration gives an array argument and its bound
+        parameter the same precision, so a mismatch here means the
+        evaluator admitted a non-compilable configuration.
+        """
+        dtype = self.dtype_of(name)
+        if isinstance(value, MPArray):
+            if value.dtype != dtype:
+                raise MixPBenchError(
+                    f"array argument bound to parameter {name!r} has dtype "
+                    f"{value.dtype}, expected {dtype}; this configuration "
+                    "should have been rejected as non-compilable"
+                )
+            return value
+        return dtype.type(unwrap(value))
+
+    # -- bookkeeping -----------------------------------------------------------
+    def get(self, name: str) -> MPArray:
+        """A previously declared array, by bare name."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise UnknownVariableError(f"no array named {name!r} allocated") from None
+
+    def release(self, name: str) -> None:
+        """Free a named array (drops it from the modeled footprint)."""
+        arr = self._arrays.pop(name, None)
+        if arr is not None:
+            self.profile.track_free(arr.nbytes)
+
+    @property
+    def live_bytes(self) -> int:
+        """Current modeled footprint of named arrays."""
+        return sum(arr.nbytes for arr in self._arrays.values())
+
+    def declared_arrays(self) -> tuple[str, ...]:
+        return tuple(self._arrays)

@@ -1,0 +1,461 @@
+"""Instrumented NumPy arrays for mixed-precision benchmarks.
+
+:class:`MPArray` wraps an ``ndarray`` and records every operation that
+touches it into a :class:`~repro.runtime.profiler.Profile`:
+
+* ufuncs (element-wise math, reductions, accumulations) via
+  ``__array_ufunc__`` — element counts, memory traffic and implicit
+  promotion casts;
+* non-ufunc NumPy functions (``np.dot``, ``np.where``, reductions) via
+  ``__array_function__``;
+* indexed *gather* reads and *scatter* writes via ``__getitem__`` /
+  ``__setitem__`` — these model the latency-bound indirect accesses of
+  sparse and unstructured codes.
+
+Because the wrapper subclasses ``NDArrayOperatorsMixin``, ordinary
+arithmetic on wrapped arrays routes through the instrumentation, and
+NumPy's NEP-50 promotion rules reproduce C's behaviour: a ``float64``
+scalar (a C ``double`` variable or literal) promotes a ``float32``
+array expression to double — *with a recorded cast* — while writing a
+double expression into a ``float32`` array truncates, exactly like a C
+assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.runtime.profiler import OpClass, Profile, opclass_for_ufunc
+
+__all__ = ["MPArray", "unwrap", "wrap"]
+
+
+def unwrap(value: Any) -> Any:
+    """Strip the MPArray wrapper, if present."""
+    return value._data if isinstance(value, MPArray) else value
+
+
+def wrap(value: Any, profile: Profile) -> Any:
+    """Wrap ndarray results; pass scalars and 0-d results through as
+    plain NumPy scalars (scalar work is negligible in the model)."""
+    if isinstance(value, np.ndarray):
+        if value.ndim == 0:
+            return value[()]
+        return MPArray(value, profile)
+    return value
+
+
+def _is_basic_index(key: Any) -> bool:
+    """True for indexing that NumPy resolves to a view (no gather)."""
+    if isinstance(key, tuple):
+        return all(_is_basic_index(part) for part in key)
+    return key is None or key is Ellipsis or isinstance(key, (int, np.integer, slice))
+
+
+def _index_size(data: np.ndarray, key: Any) -> int:
+    """Element count selected by a (possibly fancy) index, cheaply."""
+    key = unwrap(key)
+    if isinstance(key, np.ndarray):
+        if key.dtype == bool:
+            return int(np.count_nonzero(key))
+        return int(key.size)
+    if isinstance(key, (list, tuple)) and not _is_basic_index(key):
+        try:
+            return int(np.asarray(key).size)
+        except Exception:
+            return 1
+    return 1
+
+
+class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
+    """A profiled view over an ``ndarray``.
+
+    All arrays derived from an :class:`MPArray` (results of arithmetic,
+    slices, copies) share its profile, so an entire benchmark execution
+    accumulates into a single operation log.
+    """
+
+    __slots__ = ("_data", "_profile")
+
+    def __init__(self, data: np.ndarray, profile: Profile) -> None:
+        if not isinstance(data, np.ndarray):
+            raise TypeError(f"MPArray wraps ndarrays, got {type(data).__name__}")
+        self._data = data
+        self._profile = profile
+
+    # -- plain attributes ---------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying ndarray (un-instrumented access)."""
+        return self._data
+
+    @property
+    def profile(self) -> Profile:
+        return self._profile
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    @property
+    def T(self) -> "MPArray":
+        return MPArray(self._data.T, self._profile)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"MPArray({self._data!r})"
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+    def __bool__(self) -> bool:
+        if self._data.size == 1:
+            return bool(self._data.item())
+        return bool(self._data)  # raises the usual ambiguity error
+
+    def __float__(self) -> float:
+        return float(self._data.item())
+
+    def __int__(self) -> int:
+        return int(self._data.item())
+
+    def item(self) -> Any:
+        return self._data.item()
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        if dtype is None:
+            return self._data
+        return self._data.astype(dtype)
+
+    # -- ufunc dispatch -------------------------------------------------------
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        raw_inputs = tuple(unwrap(x) for x in inputs)
+        out = kwargs.get("out")
+        out_was_wrapped = False
+        if out is not None:
+            raw_out = tuple(unwrap(o) for o in (out if isinstance(out, tuple) else (out,)))
+            out_was_wrapped = any(isinstance(o, MPArray) for o in (out if isinstance(out, tuple) else (out,)))
+            kwargs["out"] = raw_out
+
+        result = getattr(ufunc, method)(*raw_inputs, **kwargs)
+        self._record_ufunc(ufunc, method, raw_inputs, result)
+
+        if isinstance(result, tuple):
+            return tuple(wrap(part, self._profile) for part in result)
+        if out is not None and out_was_wrapped and isinstance(result, np.ndarray):
+            return MPArray(result, self._profile)
+        return wrap(result, self._profile)
+
+    def _record_ufunc(self, ufunc, method: str, raw_inputs: tuple, result: Any) -> None:
+        primary = result[0] if isinstance(result, tuple) else result
+        if isinstance(primary, np.ndarray):
+            result_dtype = primary.dtype
+            result_size = primary.size
+            bytes_written = float(primary.nbytes)
+        elif isinstance(primary, np.generic):
+            result_dtype = primary.dtype
+            result_size = 1
+            bytes_written = float(result_dtype.itemsize)
+        else:
+            result_dtype = np.dtype(np.float64)
+            result_size = 1
+            bytes_written = 8.0
+
+        array_inputs = [x for x in raw_inputs if isinstance(x, np.ndarray)]
+        bytes_read = float(sum(x.nbytes for x in array_inputs))
+        input_sizes = [x.size for x in array_inputs]
+        max_input = max(input_sizes, default=1)
+
+        if ufunc.__name__ in ("matmul", "vecdot"):
+            # flops for matmul: 2 · (result elements) · (contraction length)
+            contraction = array_inputs[0].shape[-1] if array_inputs else 1
+            n = 2.0 * max(result_size, 1) * contraction
+        elif method in ("reduce", "accumulate", "reduceat"):
+            n = float(max_input)
+        elif method == "outer":
+            n = float(result_size)
+        elif method == "at":
+            n = float(_index_size(array_inputs[0], raw_inputs[1]) if len(raw_inputs) > 1 else max_input)
+        else:  # __call__
+            n = float(max(result_size, max_input))
+
+        # Promotion casts: floating inputs narrower/wider than the
+        # compute dtype are converted element-by-element, like C.
+        casts = 0.0
+        if result_dtype.kind == "f":
+            for x in array_inputs:
+                if x.dtype.kind == "f" and x.dtype != result_dtype:
+                    casts += x.size
+
+        opclass = opclass_for_ufunc(ufunc.__name__, result_dtype.kind)
+        compute_dtype = result_dtype.name
+        if result_dtype.kind == "b" and array_inputs:
+            # Comparisons compute at the input precision even though the
+            # result is boolean.
+            widest = max(
+                (x.dtype for x in array_inputs if x.dtype.kind == "f"),
+                key=lambda dt: dt.itemsize,
+                default=None,
+            )
+            if widest is not None:
+                compute_dtype = widest.name
+                opclass = OpClass.CHEAP
+        self._profile.record_op(
+            opclass, compute_dtype, n,
+            bytes_read=bytes_read, bytes_written=bytes_written, casts=casts,
+        )
+
+    # -- non-ufunc NumPy functions ---------------------------------------------
+    def __array_function__(self, func, types, args, kwargs):
+        handler = _FUNCTION_HANDLERS.get(func)
+        raw_args = _unwrap_tree(args)
+        raw_kwargs = _unwrap_tree(kwargs)
+        result = func(*raw_args, **raw_kwargs)
+        if handler is not None:
+            handler(self._profile, raw_args, result)
+        else:
+            _record_generic(self._profile, raw_args, result)
+        return _wrap_tree(result, self._profile)
+
+    # -- indexing ---------------------------------------------------------------
+    def __getitem__(self, key: Any) -> Any:
+        raw_key = _unwrap_tree(key)
+        result = self._data[raw_key]
+        if not _is_basic_index(raw_key):
+            n = result.size if isinstance(result, np.ndarray) else 1
+            nbytes = result.nbytes if isinstance(result, np.ndarray) else self.dtype.itemsize
+            self._profile.record_gather(float(n), float(nbytes))
+        return wrap(result, self._profile)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        raw_key = _unwrap_tree(key)
+        raw_value = unwrap(value)
+        basic = _is_basic_index(raw_key)
+        if basic:
+            target = self._data[raw_key]
+            n = target.size if isinstance(target, np.ndarray) else 1
+        else:
+            n = _index_size(self._data, raw_key)
+        value_dtype = getattr(raw_value, "dtype", None)
+        casts = 0.0
+        if value_dtype is not None and value_dtype.kind == "f" and value_dtype != self.dtype:
+            value_size = getattr(raw_value, "size", 1)
+            casts = float(min(value_size, n))
+        self._data[raw_key] = raw_value
+        if basic:
+            self._profile.record_op(
+                OpClass.MOVE, self.dtype.name, float(n),
+                bytes_written=float(n) * self.dtype.itemsize, casts=casts,
+            )
+        else:
+            self._profile.record_gather(float(n), float(n) * self.dtype.itemsize)
+            if casts:
+                self._profile.record_cast(casts)
+
+    # -- shape/dtype helpers -----------------------------------------------------
+    def reshape(self, *shape) -> "MPArray":
+        return MPArray(self._data.reshape(*shape), self._profile)
+
+    def ravel(self) -> "MPArray":
+        return MPArray(self._data.ravel(), self._profile)
+
+    def transpose(self, *axes) -> "MPArray":
+        return MPArray(self._data.transpose(*axes), self._profile)
+
+    def astype(self, dtype) -> "MPArray":
+        dtype = np.dtype(dtype)
+        if dtype != self.dtype:
+            self._profile.record_cast(float(self.size))
+        self._profile.record_op(
+            OpClass.MOVE, dtype.name, float(self.size),
+            bytes_read=float(self.nbytes), bytes_written=float(self.size * dtype.itemsize),
+        )
+        return MPArray(self._data.astype(dtype), self._profile)
+
+    def copy(self) -> "MPArray":
+        self._profile.record_op(
+            OpClass.MOVE, self.dtype.name, float(self.size),
+            bytes_read=float(self.nbytes), bytes_written=float(self.nbytes),
+        )
+        return MPArray(self._data.copy(), self._profile)
+
+    def fill(self, value: Any) -> None:
+        self._data.fill(unwrap(value))
+        self._profile.record_op(
+            OpClass.MOVE, self.dtype.name, float(self.size),
+            bytes_written=float(self.nbytes),
+        )
+
+    # -- reductions as methods ------------------------------------------------
+    def sum(self, *args, **kwargs):
+        return np.sum(self, *args, **kwargs)
+
+    def mean(self, *args, **kwargs):
+        return np.mean(self, *args, **kwargs)
+
+    def min(self, *args, **kwargs):
+        return np.min(self, *args, **kwargs)
+
+    def max(self, *args, **kwargs):
+        return np.max(self, *args, **kwargs)
+
+    def dot(self, other):
+        return np.dot(self, other)
+
+    def argmin(self, *args, **kwargs):
+        return np.argmin(self, *args, **kwargs)
+
+    def argmax(self, *args, **kwargs):
+        return np.argmax(self, *args, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# __array_function__ plumbing
+
+
+def _unwrap_tree(obj: Any) -> Any:
+    if isinstance(obj, MPArray):
+        return obj._data
+    if isinstance(obj, tuple):
+        return tuple(_unwrap_tree(x) for x in obj)
+    if isinstance(obj, list):
+        return [_unwrap_tree(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _unwrap_tree(v) for k, v in obj.items()}
+    return obj
+
+
+def _wrap_tree(obj: Any, profile: Profile) -> Any:
+    if isinstance(obj, np.ndarray):
+        return wrap(obj, profile)
+    if isinstance(obj, tuple):
+        return tuple(_wrap_tree(x, profile) for x in obj)
+    if isinstance(obj, list):
+        return [_wrap_tree(x, profile) for x in obj]
+    return obj
+
+
+def _array_args(raw_args: Any) -> list[np.ndarray]:
+    found: list[np.ndarray] = []
+
+    def visit(obj: Any) -> None:
+        if isinstance(obj, np.ndarray):
+            found.append(obj)
+        elif isinstance(obj, (tuple, list)):
+            for part in obj:
+                visit(part)
+
+    visit(raw_args)
+    return found
+
+
+def _result_stats(result: Any) -> tuple[float, float]:
+    if isinstance(result, np.ndarray):
+        return float(result.size), float(result.nbytes)
+    if isinstance(result, np.generic):
+        return 1.0, float(result.dtype.itemsize)
+    return 1.0, 8.0
+
+
+def _dtype_of(result: Any, arrays: list[np.ndarray]) -> str:
+    if isinstance(result, (np.ndarray, np.generic)) and result.dtype.kind == "f":
+        return result.dtype.name
+    for arr in arrays:
+        if arr.dtype.kind == "f":
+            return arr.dtype.name
+    return "float64"
+
+
+def _record_generic(profile: Profile, raw_args: Any, result: Any) -> None:
+    """Fallback accounting for NumPy functions without a dedicated
+    handler: charge one cheap op per element of the largest operand."""
+    arrays = _array_args(raw_args)
+    result_size, result_bytes = _result_stats(result)
+    n = max([a.size for a in arrays] + [result_size])
+    profile.record_op(
+        OpClass.CHEAP, _dtype_of(result, arrays), float(n),
+        bytes_read=float(sum(a.nbytes for a in arrays)),
+        bytes_written=result_bytes,
+    )
+
+
+def _record_dot(profile: Profile, raw_args: Any, result: Any) -> None:
+    arrays = _array_args(raw_args)
+    if len(arrays) < 2:
+        _record_generic(profile, raw_args, result)
+        return
+    a, b = arrays[0], arrays[1]
+    contraction = a.shape[-1] if a.ndim else 1
+    result_size, result_bytes = _result_stats(result)
+    flops = 2.0 * max(result_size, 1.0) * contraction
+    profile.record_op(
+        OpClass.CHEAP, _dtype_of(result, arrays), flops,
+        bytes_read=float(a.nbytes + b.nbytes), bytes_written=result_bytes,
+    )
+    if a.dtype != b.dtype and a.dtype.kind == "f" and b.dtype.kind == "f":
+        profile.record_cast(float(min(a.size, b.size)))
+
+
+def _record_move(profile: Profile, raw_args: Any, result: Any) -> None:
+    arrays = _array_args(raw_args)
+    result_size, result_bytes = _result_stats(result)
+    profile.record_op(
+        OpClass.MOVE, _dtype_of(result, arrays), result_size,
+        bytes_read=float(sum(a.nbytes for a in arrays)),
+        bytes_written=result_bytes,
+    )
+
+
+def _record_reduction(profile: Profile, raw_args: Any, result: Any) -> None:
+    arrays = _array_args(raw_args)
+    n = float(max((a.size for a in arrays), default=1))
+    result_size, result_bytes = _result_stats(result)
+    profile.record_op(
+        OpClass.CHEAP, _dtype_of(result, arrays), n,
+        bytes_read=float(sum(a.nbytes for a in arrays)),
+        bytes_written=result_bytes,
+    )
+
+
+_FUNCTION_HANDLERS: dict[Callable, Callable[[Profile, Any, Any], None]] = {
+    np.dot: _record_dot,
+    np.matmul: _record_dot,
+    np.inner: _record_dot,
+    np.where: _record_move,
+    np.concatenate: _record_move,
+    np.stack: _record_move,
+    np.copyto: _record_move,
+    np.sum: _record_reduction,
+    np.mean: _record_reduction,
+    np.prod: _record_reduction,
+    np.amax: _record_reduction,
+    np.amin: _record_reduction,
+    np.max: _record_reduction,
+    np.min: _record_reduction,
+    np.argmax: _record_reduction,
+    np.argmin: _record_reduction,
+    np.count_nonzero: _record_reduction,
+    np.any: _record_reduction,
+    np.all: _record_reduction,
+}

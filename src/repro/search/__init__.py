@@ -1,0 +1,60 @@
+"""Mixed-precision search algorithms (CRAFT strategies + GA).
+
+Six strategies, matching the paper's Section II-B:
+
+======================  ====  ===========  =======================
+Strategy                Abbr  Granularity  Module
+======================  ====  ===========  =======================
+Combinational           CB    clusters     ``combinational``
+Compositional           CM    clusters     ``compositional``
+Delta debugging         DD    clusters     ``delta_debug``
+Hierarchical            HR    variables    ``hierarchical``
+Hierarchical-comp.      HC    variables    ``hier_comp``
+Genetic algorithm       GA    clusters     ``genetic``
+======================  ====  ===========  =======================
+
+Extension strategies beyond the paper: ``HRC`` (``hier_cluster``),
+the cluster-aware hierarchical redesign the paper's Section V
+motivates; ``RS`` (``random_search``), the uniform-sampling baseline;
+and ``LD`` (``ladder``), progressive double→single→half lowering.
+"""
+
+from repro.search.base import SearchStrategy
+from repro.search.combinational import CombinationalSearch
+from repro.search.compositional import CompositionalSearch
+from repro.search.delta_debug import DeltaDebugSearch
+from repro.search.genetic import GeneticSearch
+from repro.search.hier_cluster import ClusterHierarchicalSearch, build_cluster_hierarchy
+from repro.search.ladder import PrecisionLadderSearch
+from repro.search.hier_comp import HierarchicalCompositionalSearch
+from repro.search.hierarchical import HierarchicalSearch
+from repro.search.hierarchy import HierarchyNode, build_hierarchy
+from repro.search.random_search import RandomSearch
+from repro.search.registry import (
+    ALGORITHM_ORDER,
+    available_strategies,
+    canonical_name,
+    make_strategy,
+    register_strategy,
+)
+
+__all__ = [
+    "SearchStrategy",
+    "CombinationalSearch",
+    "CompositionalSearch",
+    "DeltaDebugSearch",
+    "HierarchicalSearch",
+    "HierarchicalCompositionalSearch",
+    "ClusterHierarchicalSearch",
+    "RandomSearch",
+    "PrecisionLadderSearch",
+    "build_cluster_hierarchy",
+    "GeneticSearch",
+    "HierarchyNode",
+    "build_hierarchy",
+    "make_strategy",
+    "register_strategy",
+    "available_strategies",
+    "canonical_name",
+    "ALGORITHM_ORDER",
+]

@@ -1,0 +1,98 @@
+"""Search strategy framework (the CRAFT generic search analogue).
+
+A :class:`SearchStrategy` enumerates precision configurations through a
+:class:`~repro.core.evaluator.ConfigurationEvaluator` and returns a
+:class:`~repro.core.results.SearchOutcome`.  The base class handles the
+cross-cutting concerns: catching the simulated 24-hour budget
+exhaustion (the paper's gray cells), collecting the trial log, and
+resolving the strategy's final configuration into the reported
+Speedup (SU), Evaluated Configurations (EV) and Accuracy (AC) metrics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.results import SearchOutcome, TrialRecord
+from repro.core.types import Precision, PrecisionConfig
+from repro.core.variables import Granularity, SearchSpace
+from repro.errors import SearchBudgetExceeded
+
+__all__ = ["SearchStrategy"]
+
+
+class SearchStrategy(ABC):
+    """Base class for mixed-precision search algorithms.
+
+    Subclasses define :attr:`strategy_name`, :attr:`granularity`
+    (clusters for CB/CM/DD/GA, variables for HR/HC — see DESIGN.md)
+    and implement :meth:`_search`, returning the configuration the
+    algorithm settles on (or ``None`` when it found nothing).
+    """
+
+    strategy_name: str = ""
+    #: granularity the strategy enumerates locations at
+    granularity: Granularity = Granularity.CLUSTER
+    #: the precision level the strategy lowers locations to
+    target_precision: Precision = Precision.SINGLE
+
+    def run(self, evaluator: ConfigurationEvaluator) -> SearchOutcome:
+        """Run the search to completion or budget exhaustion."""
+        timed_out = False
+        final_config: PrecisionConfig | None = None
+        try:
+            final_config = self._search(evaluator)
+        except SearchBudgetExceeded:
+            timed_out = True
+
+        final = self._resolve_final(evaluator, final_config, timed_out)
+        return SearchOutcome(
+            strategy=self.strategy_name,
+            program=evaluator.program.name,
+            threshold=evaluator.quality.threshold,
+            final=final,
+            evaluations=evaluator.evaluations,
+            analysis_seconds=evaluator.analysis_seconds,
+            timed_out=timed_out,
+            trials=list(evaluator.trials),
+            metadata=self.describe(),
+        )
+
+    def describe(self) -> dict:
+        """Strategy parameters worth recording in the outcome."""
+        return {
+            "granularity": self.granularity.value,
+            "target_precision": self.target_precision.value,
+        }
+
+    def space(self, evaluator: ConfigurationEvaluator) -> SearchSpace:
+        return evaluator.space(self.granularity)
+
+    # -- helpers shared by concrete strategies ---------------------------------
+    def _lower(self, space: SearchSpace, locations) -> PrecisionConfig:
+        return space.lower(locations, self.target_precision)
+
+    def _resolve_final(
+        self,
+        evaluator: ConfigurationEvaluator,
+        final_config: PrecisionConfig | None,
+        timed_out: bool,
+    ) -> TrialRecord | None:
+        """Map the strategy's chosen configuration to its trial record.
+
+        A search that timed out reports no solution (the paper leaves
+        those cells empty).  A strategy that converged without naming a
+        configuration falls back to the best passing trial it saw.
+        """
+        if timed_out:
+            return None
+        if final_config is not None:
+            for trial in reversed(evaluator.trials):
+                if trial.config == final_config:
+                    return trial if trial.passed else evaluator.best_passing()
+        return evaluator.best_passing()
+
+    @abstractmethod
+    def _search(self, evaluator: ConfigurationEvaluator) -> PrecisionConfig | None:
+        """Run the algorithm; return the configuration it converged to."""

@@ -1,0 +1,83 @@
+"""Hierarchical-compositional (HC) search.
+
+"Integrates the hierarchical and compositional approaches, using the
+former to identify program components amenable to replacement and then
+using the latter to combine these individual components ...  The
+search terminates when all passing configurations have been composed
+of other passing configurations" (paper Section II-B).
+
+Phase 1 walks the structural tree evaluating each component *in
+isolation* (no accumulation): a passing component becomes an atom and
+its subtree is pruned; a failing component is refined into children.
+Phase 2 runs the compositional pool over the atoms.  Like HR this
+operates on variables, so isolated components regularly split clusters
+and burn evaluations on compile errors.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.types import PrecisionConfig
+from repro.core.variables import Granularity
+from repro.search.base import SearchStrategy
+from repro.search.hierarchy import HierarchyNode, build_hierarchy
+
+__all__ = ["HierarchicalCompositionalSearch"]
+
+
+class HierarchicalCompositionalSearch(SearchStrategy):
+    """Hierarchical component discovery + compositional combination."""
+
+    strategy_name = "hierarchical-compositional"
+    granularity = Granularity.VARIABLE
+
+    def _search(self, evaluator: ConfigurationEvaluator) -> PrecisionConfig | None:
+        space = self.space(evaluator)
+        root = build_hierarchy(space)
+
+        best: PrecisionConfig | None = None
+        best_speedup = float("-inf")
+
+        def consider(lowered: frozenset[str]) -> bool:
+            nonlocal best, best_speedup
+            trial = evaluator.evaluate(self._lower(space, sorted(lowered)))
+            if trial.passed and trial.speedup > best_speedup:
+                best = trial.config
+                best_speedup = trial.speedup
+            return trial.passed
+
+        # Phase 1 — hierarchical discovery of passing components.
+        components: list[frozenset[str]] = []
+
+        def discover(node: HierarchyNode) -> None:
+            if consider(node.variables):
+                components.append(node.variables)
+                return
+            for child in node.children:
+                discover(child)
+
+        discover(root)
+
+        # Phase 2 — compositional combination of the components,
+        # with the same maximal-union heuristic as CM.
+        if len(components) > 1:
+            maximal = frozenset().union(*components)
+            if consider(maximal):
+                return best
+
+        tried: set[frozenset[str]] = set(components)
+        passing = list(components)
+        frontier = list(components)
+        while frontier:
+            new_frontier: list[frozenset[str]] = []
+            for candidate in frontier:
+                for other in passing:
+                    union = candidate | other
+                    if union == candidate or union == other or union in tried:
+                        continue
+                    tried.add(union)
+                    if consider(union):
+                        new_frontier.append(union)
+            passing.extend(new_frontier)
+            frontier = new_frontier
+        return best

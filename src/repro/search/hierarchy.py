@@ -1,0 +1,86 @@
+"""Program-structure hierarchy shared by the HR and HC strategies.
+
+CRAFT's hierarchical searches walk the program's structural tree —
+application → modules → functions → individual variables — instead of
+the flat location list.  The tree is built from the metadata Typeforge
+attaches to every variable (its declaring function and module).
+
+Hierarchical searches operate at *variable* granularity: the paper
+notes they cannot incorporate cluster information "without breaking
+the notion of hierarchy", which is why they waste evaluations on
+non-compiling configurations and sometimes converge to suboptimal
+solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.variables import SearchSpace
+
+__all__ = ["HierarchyNode", "build_hierarchy"]
+
+
+@dataclass
+class HierarchyNode:
+    """One structural component: a named set of variable uids."""
+
+    label: str
+    variables: frozenset[str]
+    children: list["HierarchyNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def walk(self):
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_hierarchy(space: SearchSpace) -> HierarchyNode:
+    """Application → module → function → variable tree for a program.
+
+    Single-child levels are collapsed (a one-module program goes
+    straight from the root to its functions) so the search does not
+    waste an evaluation re-testing an identical variable set.
+    """
+    variables = space.variables
+    root = HierarchyNode("<application>", frozenset(v.uid for v in variables))
+
+    by_module: dict[str, list] = {}
+    for var in variables:
+        by_module.setdefault(var.module, []).append(var)
+
+    module_nodes = []
+    for module, module_vars in sorted(by_module.items()):
+        module_node = HierarchyNode(
+            f"module:{module}", frozenset(v.uid for v in module_vars)
+        )
+        by_function: dict[str, list] = {}
+        for var in module_vars:
+            by_function.setdefault(var.function, []).append(var)
+        for function, fn_vars in sorted(by_function.items()):
+            fn_node = HierarchyNode(
+                f"function:{function}", frozenset(v.uid for v in fn_vars)
+            )
+            if len(fn_vars) > 1:
+                fn_node.children = [
+                    HierarchyNode(f"variable:{v.uid}", frozenset({v.uid}))
+                    for v in sorted(fn_vars, key=lambda v: v.uid)
+                ]
+            module_node.children.append(fn_node)
+        if len(module_node.children) == 1 and module_node.children[0].variables == module_node.variables:
+            module_node = module_node.children[0]
+        module_nodes.append(module_node)
+
+    if len(module_nodes) == 1 and module_nodes[0].variables == root.variables:
+        root.children = module_nodes[0].children
+    else:
+        root.children = module_nodes
+    return root

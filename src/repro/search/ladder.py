@@ -1,0 +1,83 @@
+"""Precision-ladder search (LD) — progressive multi-level lowering
+(extension).
+
+The paper's machinery is generic over ``p`` precision levels but its
+evaluation stops at two.  This strategy exercises the third level the
+way practitioners do on fp16-capable hardware: *progressively*.
+
+1. Run delta debugging lowering locations double → single; call the
+   surviving lowered set S.
+2. Run delta debugging again, only over S, lowering single → half
+   (locations outside S stay double, locations in S not chosen for
+   half stay single).
+
+The result is a genuine three-level configuration that is never more
+aggressive than what verification allows at each rung — safer than
+lowering straight to half, faster than staying at single where fp16's
+error is tolerable.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.results import TrialRecord
+from repro.core.types import Precision, PrecisionConfig
+from repro.search.base import SearchStrategy
+from repro.search.delta_debug import DeltaDebugSearch
+
+__all__ = ["PrecisionLadderSearch"]
+
+
+class PrecisionLadderSearch(SearchStrategy):
+    """DD to single, then DD over the survivors to half."""
+
+    strategy_name = "precision-ladder"
+
+    def _search(self, evaluator: ConfigurationEvaluator) -> PrecisionConfig | None:
+        space = self.space(evaluator)
+
+        # Rung 1 — classic delta debugging down to single precision.
+        single_stage = DeltaDebugSearch()
+        single_config = single_stage._search(evaluator)
+        if single_config is None:
+            return None
+        lowered = sorted(space.lowered_location_set(single_config))
+        if not lowered:
+            return single_config
+
+        # Rung 2 — ddmin over the single-precision survivors, pushing
+        # a subset further down to half.
+        def passes(high: frozenset[str]) -> TrialRecord | None:
+            to_half = [loc for loc in lowered if loc not in high]
+            if not to_half:
+                return None
+            choices = {loc: Precision.SINGLE for loc in lowered}
+            choices.update({loc: Precision.HALF for loc in to_half})
+            return evaluator.evaluate(space.config_from_choices(choices))
+
+        trial = passes(frozenset())
+        if trial is not None and trial.passed:
+            best_half = trial.config
+        else:
+            high = DeltaDebugSearch._ddmin(frozenset(lowered), passes)
+            to_half = [loc for loc in lowered if loc not in high]
+            if not to_half:
+                return single_config
+            choices = {loc: Precision.SINGLE for loc in lowered}
+            choices.update({loc: Precision.HALF for loc in to_half})
+            final = evaluator.evaluate(space.config_from_choices(choices))
+            best_half = final.config if final.passed else None
+
+        if best_half is None:
+            return single_config
+
+        # Keep whichever rung actually measured faster.
+        single_trial = next(
+            (t for t in evaluator.trials if t.config == single_config), None,
+        )
+        half_trial = next(
+            (t for t in evaluator.trials if t.config == best_half), None,
+        )
+        if single_trial and half_trial and single_trial.speedup > half_trial.speedup:
+            return single_config
+        return best_half

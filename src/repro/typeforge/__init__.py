@@ -1,0 +1,12 @@
+"""Typeforge analogue: type-dependence analysis and clustering for
+benchmark modules written in the constrained MPB style."""
+
+from repro.typeforge.astscan import scan_module, scan_source
+from repro.typeforge.clusters import TypeforgeReport, analyze, analyze_sources
+from repro.typeforge.dependence import DependenceEdge, DependenceResult, UnionFind, solve
+
+__all__ = [
+    "scan_module", "scan_source", "solve",
+    "UnionFind", "DependenceEdge", "DependenceResult",
+    "TypeforgeReport", "analyze", "analyze_sources",
+]

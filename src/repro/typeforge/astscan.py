@@ -1,0 +1,261 @@
+"""AST scanning of benchmark modules written in the MPB style.
+
+The paper's Typeforge parses C++ with ROSE and extracts every
+floating-point declaration plus the *type-dependence* facts between
+them.  This module does the same for benchmark code written in the
+constrained **MPB style**:
+
+* every floating-point variable is declared through the workspace:
+  ``x = ws.array("x", ...)``, ``s = ws.scalar("s", ...)``,
+  ``p = ws.param("p", p)``, or ``x = mp_fread(ws, "x", ...)``;
+* the declaration target name equals the declared string name;
+* helper functions are module-level ``def``s taking ``ws`` first;
+* arrays flow between functions only by argument passing, return
+  values, and name aliasing.
+
+The scanner is purely syntactic: it emits declarations and *facts*
+(alias, call binding, return binding, subscript use) that the solver in
+:mod:`repro.typeforge.dependence` turns into variables and clusters.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from types import ModuleType
+
+from repro.errors import StyleError
+
+__all__ = [
+    "Slot", "Declaration", "AliasFact", "BindFact", "ReturnFact",
+    "FunctionScan", "ModuleScan", "scan_module", "scan_source",
+]
+
+_DECL_METHODS = {"array": "array", "scalar": "scalar", "param": "param"}
+_READ_FUNCS = {"mp_fread"}
+_WS_NAMES = {"ws"}
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A local name within a function: the unit the solver reasons about."""
+
+    function: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.function}:{self.name}"
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """A ``ws.array`` / ``ws.scalar`` / ``ws.param`` / ``mp_fread`` site."""
+
+    slot: Slot
+    decl_kind: str      # "array" | "scalar" | "param"
+    module: str
+
+
+@dataclass(frozen=True)
+class AliasFact:
+    """``a = b`` — the target shares the source's storage.
+
+    When both sides are themselves declared variables this is the
+    paper's pointer-assignment rule and unifies their clusters;
+    otherwise the target is a transparent alias.
+    """
+
+    target: Slot
+    source: Slot
+
+
+@dataclass(frozen=True)
+class BindFact:
+    """A call site binding an argument name to a callee parameter."""
+
+    argument: Slot
+    parameter: Slot
+
+
+@dataclass(frozen=True)
+class ReturnFact:
+    """``x = g(...)`` where ``g`` returns a local — x aliases it."""
+
+    target: Slot
+    returned: Slot
+
+
+@dataclass
+class FunctionScan:
+    """Raw facts collected from one function body."""
+
+    name: str
+    module: str
+    params: list[str] = field(default_factory=list)
+    declarations: list[Declaration] = field(default_factory=list)
+    aliases: list[AliasFact] = field(default_factory=list)
+    subscripted: set[str] = field(default_factory=set)
+    returns: list[str] = field(default_factory=list)
+    # (callee name, [(arg local name or None, param position), ...])
+    callsites: list[tuple[str, list[tuple[str | None, int]]]] = field(default_factory=list)
+    # assignment target name -> callee name (for return binding)
+    call_targets: list[tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class ModuleScan:
+    """All functions scanned from one module."""
+
+    module: str
+    functions: dict[str, FunctionScan] = field(default_factory=dict)
+
+
+def scan_module(module: ModuleType, module_name: str | None = None) -> ModuleScan:
+    """Scan a live Python module's source (via ``inspect``)."""
+    source = inspect.getsource(module)
+    name = module_name or module.__name__.rsplit(".", 1)[-1]
+    return scan_source(source, name)
+
+
+def scan_source(source: str, module_name: str) -> ModuleScan:
+    """Scan benchmark source text for declarations and dependence facts."""
+    tree = ast.parse(textwrap.dedent(source))
+    scan = ModuleScan(module=module_name)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            scan.functions[node.name] = _scan_function(node, module_name)
+    return scan
+
+
+def _scan_function(node: ast.FunctionDef, module_name: str) -> FunctionScan:
+    fn = FunctionScan(name=node.name, module=module_name)
+    fn.params = [
+        arg.arg for arg in node.args.args + node.args.kwonlyargs
+        if arg.arg not in _WS_NAMES
+    ]
+    declared: set[str] = set()
+
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            _scan_assignment(fn, stmt.targets[0], stmt.value, declared)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            _scan_assignment(fn, stmt.target, stmt.value, declared)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            for name in _returned_names(stmt.value):
+                fn.returns.append(name)
+        elif isinstance(stmt, ast.Subscript) and isinstance(stmt.value, ast.Name):
+            fn.subscripted.add(stmt.value.id)
+
+    for call in (n for n in ast.walk(node) if isinstance(n, ast.Call)):
+        callee = _callee_name(call)
+        if callee is None or callee in _READ_FUNCS:
+            continue
+        args: list[tuple[str | None, int]] = []
+        position = 0
+        for arg in call.args:
+            if isinstance(arg, ast.Name) and arg.id in _WS_NAMES:
+                continue  # the workspace is plumbing, not data
+            name = arg.id if isinstance(arg, ast.Name) else None
+            args.append((name, position))
+            position += 1
+        fn.callsites.append((callee, args))
+    return fn
+
+
+def _scan_assignment(fn: FunctionScan, target: ast.expr, value: ast.expr, declared: set[str]) -> None:
+    if isinstance(target, ast.Tuple) and isinstance(value, ast.Tuple):
+        # ``x, y = y, x`` — the C pointer-swap idiom used by ping-pong
+        # buffers; each pairing is an aliasing assignment.
+        if len(target.elts) == len(value.elts):
+            for t_elt, v_elt in zip(target.elts, value.elts):
+                if isinstance(t_elt, ast.Name) and isinstance(v_elt, ast.Name):
+                    fn.aliases.append(
+                        AliasFact(Slot(fn.name, t_elt.id), Slot(fn.name, v_elt.id))
+                    )
+        return
+    if not isinstance(target, ast.Name):
+        return
+    tname = target.id
+
+    decl_kind = _declaration_kind(value)
+    if decl_kind is not None:
+        declared_name = _declared_name(value, decl_kind)
+        if declared_name != tname:
+            raise StyleError(
+                f"{fn.module}.{fn.name}: declaration target {tname!r} must match "
+                f"the declared name {declared_name!r}"
+            )
+        if tname in declared:
+            raise StyleError(
+                f"{fn.module}.{fn.name}: variable {tname!r} declared twice"
+            )
+        declared.add(tname)
+        fn.declarations.append(
+            Declaration(Slot(fn.name, tname), decl_kind, fn.module)
+        )
+        return
+
+    if isinstance(value, ast.Name):
+        fn.aliases.append(AliasFact(Slot(fn.name, tname), Slot(fn.name, value.id)))
+        return
+
+    if isinstance(value, ast.Subscript) and isinstance(value.value, ast.Name):
+        # ``chunk = feats[lo:hi]`` — C pointer arithmetic into an array
+        # (``double *chunk = &feats[lo]``); the slice shares the base
+        # type.  Scalar element loads (``q = coef[0]``) take the same
+        # edge harmlessly: a slot never used as an array gets no
+        # variable, so only genuine sub-array aliases unify.
+        fn.aliases.append(AliasFact(Slot(fn.name, tname), Slot(fn.name, value.value.id)))
+        return
+
+    if isinstance(value, ast.Call):
+        callee = _callee_name(value)
+        if callee is not None and callee not in _READ_FUNCS:
+            fn.call_targets.append((tname, callee))
+
+
+def _declaration_kind(value: ast.expr) -> str | None:
+    """``ws.array(...)`` → ``"array"`` etc.; ``mp_fread`` → ``"array"``."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _WS_NAMES
+        and func.attr in _DECL_METHODS
+    ):
+        return _DECL_METHODS[func.attr]
+    if isinstance(func, ast.Name) and func.id in _READ_FUNCS:
+        return "array"
+    return None
+
+
+def _declared_name(value: ast.Call, decl_kind: str) -> str:
+    func = value.func
+    if isinstance(func, ast.Name) and func.id in _READ_FUNCS:
+        name_arg = value.args[1] if len(value.args) > 1 else None
+    else:
+        name_arg = value.args[0] if value.args else None
+    if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+        raise StyleError(
+            f"declaration name must be a string literal (found {ast.dump(value)[:80]})"
+        )
+    return name_arg.value
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    """Name of a direct module-level call; None for methods/builtins."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _returned_names(value: ast.expr) -> list[str]:
+    if isinstance(value, ast.Name):
+        return [value.id]
+    if isinstance(value, ast.Tuple):
+        return [elt.id for elt in value.elts if isinstance(elt, ast.Name)]
+    return []

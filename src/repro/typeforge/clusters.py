@@ -1,0 +1,117 @@
+"""Public Typeforge API: analyse benchmark modules into a report.
+
+:func:`analyze` is what FloatSmith calls first for a program: it runs
+the scanner and the dependence solver and returns a
+:class:`TypeforgeReport` carrying the variable inventory (TV), the
+cluster partition (TC), the bare-name→uid map the runtime needs, and a
+ready-made :class:`~repro.core.variables.SearchSpace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import ModuleType
+
+from repro.core.variables import Cluster, Granularity, SearchSpace, Variable
+from repro.typeforge.astscan import scan_module, scan_source
+from repro.typeforge.dependence import DependenceResult, solve
+
+__all__ = ["TypeforgeReport", "analyze", "analyze_sources"]
+
+
+@dataclass(frozen=True)
+class TypeforgeReport:
+    """Result of the type-dependence analysis of one program."""
+
+    program: str
+    variables: tuple[Variable, ...]
+    clusters: tuple[Cluster, ...]
+    name_map: dict[str, str] = field(hash=False)
+    dependence: DependenceResult | None = field(
+        default=None, hash=False, compare=False, repr=False,
+    )
+
+    @property
+    def total_variables(self) -> int:
+        """TV — the paper's Table II first metric."""
+        return len(self.variables)
+
+    @property
+    def total_clusters(self) -> int:
+        """TC — the paper's Table II second metric."""
+        return len(self.clusters)
+
+    def search_space(self, granularity: Granularity = Granularity.CLUSTER) -> SearchSpace:
+        """A search space over this program's locations."""
+        return SearchSpace(self.variables, self.clusters, granularity=granularity)
+
+    def functions(self) -> tuple[str, ...]:
+        """Functions containing at least one variable (HR hierarchy)."""
+        return tuple(sorted({v.function for v in self.variables}))
+
+    def modules(self) -> tuple[str, ...]:
+        """Modules containing at least one variable (HR hierarchy)."""
+        return tuple(sorted({v.module for v in self.variables}))
+
+    def variables_in_function(self, function: str) -> tuple[Variable, ...]:
+        return tuple(v for v in self.variables if v.function == function)
+
+    def variables_in_module(self, module: str) -> tuple[Variable, ...]:
+        return tuple(v for v in self.variables if v.module == module)
+
+    def explain(self, uid_a: str, uid_b: str) -> list[str] | None:
+        """Why must ``uid_a`` and ``uid_b`` share a base type?
+
+        Returns the shortest chain of dependence facts connecting the
+        two variables (empty list if they are the same entity), or
+        ``None`` when they are independent (different clusters).
+        """
+        if self.dependence is None:
+            raise ValueError("this report carries no dependence provenance")
+        return self.dependence.explain(uid_a, uid_b)
+
+    def summary(self) -> dict:
+        return {
+            "program": self.program,
+            "total_variables": self.total_variables,
+            "total_clusters": self.total_clusters,
+            "clusters": {c.cid: sorted(c.members) for c in self.clusters},
+        }
+
+
+def analyze(
+    modules: ModuleType | list[ModuleType],
+    entry: str | None = None,
+    program: str = "",
+) -> TypeforgeReport:
+    """Analyse one or more live benchmark modules."""
+    if isinstance(modules, ModuleType):
+        modules = [modules]
+    scans = [scan_module(m) for m in modules]
+    result = solve(scans, entry=entry)
+    name = program or modules[0].__name__.rsplit(".", 1)[-1]
+    return TypeforgeReport(
+        program=name,
+        variables=tuple(result.variables),
+        clusters=tuple(result.clusters),
+        name_map=dict(result.name_map),
+        dependence=result,
+    )
+
+
+def analyze_sources(
+    sources: dict[str, str],
+    entry: str | None = None,
+    program: str = "",
+) -> TypeforgeReport:
+    """Analyse raw source texts, keyed by module name (for tests and
+    user-supplied programs that are not importable modules)."""
+    scans = [scan_source(src, name) for name, src in sources.items()]
+    result = solve(scans, entry=entry)
+    return TypeforgeReport(
+        program=program or next(iter(sources)),
+        variables=tuple(result.variables),
+        clusters=tuple(result.clusters),
+        name_map=dict(result.name_map),
+        dependence=result,
+    )

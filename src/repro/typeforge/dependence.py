@@ -1,0 +1,341 @@
+"""Type-dependence solving: from scanned facts to variables and clusters.
+
+Implements the paper's Section II-C analysis: an entity ``x`` is
+type-dependent on ``y`` iff changing ``y``'s type may force ``x``'s
+type to change to keep the program type-correct.  For pointer-typed
+entities (arrays and array-bound parameters) the dependence relation is
+symmetric and transitive, so its closure partitions the pointer
+variables into disjoint *clusters*; scalar entities can always be
+reconciled with a cast, so each scalar forms a singleton cluster —
+exactly the partitioning of the paper's Listing 1 example
+(``{arr, input}, {val, inout}, {scale}, {ratio}, {res}``).
+
+The solver works on *slots* (function-local names).  Edges come from
+
+* aliasing assignments (``a = b``),
+* call-site argument/parameter bindings,
+* return-value bindings (``x = g(...)``),
+
+and array-ness propagates along the same edges from ``ws.array``
+declarations and subscript uses, which is how parameters are discovered
+to be pointer-typed without any annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.variables import Cluster, Variable, VariableKind
+from repro.errors import StyleError
+from repro.typeforge.astscan import FunctionScan, ModuleScan, Slot
+
+__all__ = ["UnionFind", "DependenceEdge", "DependenceResult", "solve"]
+
+
+class UnionFind:
+    """Disjoint-set forest over hashable items (path halving + rank)."""
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+        self._rank: dict = {}
+
+    def add(self, item) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item):
+        self.add(item)
+        parent = self._parent
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]
+            item = parent[item]
+        return item
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+
+    def groups(self) -> dict:
+        """Map of representative → sorted member list."""
+        out: dict = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return {rep: sorted(members, key=str) for rep, members in out.items()}
+
+    def __contains__(self, item) -> bool:
+        return item in self._parent
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    """One type-dependence fact, with provenance for explanations."""
+
+    source: Slot
+    target: Slot
+    kind: str  # "alias" | "call-binding" | "return-binding"
+
+    def describe(self) -> str:
+        labels = {
+            "alias": "aliasing assignment",
+            "call-binding": "argument/parameter binding",
+            "return-binding": "return-value binding",
+        }
+        return labels.get(self.kind, self.kind)
+
+
+@dataclass
+class DependenceResult:
+    """Output of the dependence solver."""
+
+    variables: list[Variable] = field(default_factory=list)
+    clusters: list[Cluster] = field(default_factory=list)
+    name_map: dict[str, str] = field(default_factory=dict)
+    edges: list[DependenceEdge] = field(default_factory=list)
+    slot_of_variable: dict[str, Slot] = field(default_factory=dict)
+
+    def explain(self, uid_a: str, uid_b: str) -> list[str] | None:
+        """A human-readable chain of dependence facts connecting two
+        variables, or None when no chain exists (different clusters).
+
+        This answers the question Typeforge users actually ask: *why*
+        does changing one variable force the other to change?
+        """
+        start = self.slot_of_variable.get(uid_a)
+        goal = self.slot_of_variable.get(uid_b)
+        if start is None or goal is None:
+            raise KeyError(f"unknown variable: {uid_a if start is None else uid_b}")
+        if start == goal:
+            return []
+        # Two entities force each other's type only when they share a
+        # cluster: scalars can be *connected* by a binding edge yet
+        # remain independent, because a scalar binding is a legal cast.
+        if not any(uid_a in c and uid_b in c for c in self.clusters):
+            return None
+
+        adjacency: dict[Slot, list[tuple[Slot, DependenceEdge]]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.source, []).append((edge.target, edge))
+            adjacency.setdefault(edge.target, []).append((edge.source, edge))
+
+        # breadth-first search for the shortest explanation
+        frontier = [start]
+        parents: dict[Slot, tuple[Slot, DependenceEdge]] = {start: (start, None)}
+        while frontier:
+            new_frontier = []
+            for slot in frontier:
+                for neighbour, edge in adjacency.get(slot, ()):
+                    if neighbour in parents:
+                        continue
+                    parents[neighbour] = (slot, edge)
+                    if neighbour == goal:
+                        return self._render_path(parents, start, goal)
+                    new_frontier.append(neighbour)
+            frontier = new_frontier
+        return None
+
+    @staticmethod
+    def _render_path(parents, start: Slot, goal: Slot) -> list[str]:
+        steps = []
+        cursor = goal
+        while cursor != start:
+            previous, edge = parents[cursor]
+            steps.append(f"{previous} --[{edge.describe()}]--> {cursor}")
+            cursor = previous
+        steps.reverse()
+        return steps
+
+
+def solve(scans: Iterable[ModuleScan], entry: str | None = None) -> DependenceResult:
+    """Run the type-dependence analysis over scanned modules.
+
+    ``entry`` names the program's entry function; its parameters carry
+    externally supplied raw data (not precision-configurable), so they
+    are excluded from variable discovery.
+    """
+    functions: dict[str, FunctionScan] = {}
+    for scan in scans:
+        for name, fn in scan.functions.items():
+            if name in functions:
+                raise StyleError(f"function {name!r} defined in more than one module")
+            functions[name] = fn
+
+    edge_records = _collect_edges(functions)
+    edges = [(edge.source, edge.target) for edge in edge_records]
+    array_slots = _propagate_arrayness(functions, edges)
+
+    variables, slot_var = _make_variables(functions, array_slots, entry)
+    _check_scalar_consistency(functions, array_slots)
+
+    # Union slots across every dependence edge; pointer variables that
+    # land in one slot-component must share a base type.
+    components = UnionFind()
+    for slot in slot_var:
+        components.add(slot)
+    for a, b in edges:
+        components.add(a)
+        components.add(b)
+        components.union(a, b)
+
+    pointer_groups: dict = {}
+    for slot, var in slot_var.items():
+        if var.is_pointer:
+            pointer_groups.setdefault(components.find(slot), set()).add(var.uid)
+
+    clusters: list[Cluster] = []
+    clustered: set[str] = set()
+    for members in pointer_groups.values():
+        cid = min(members)
+        clusters.append(Cluster(cid, frozenset(members)))
+        clustered |= members
+    for var in variables:
+        if var.uid not in clustered:
+            clusters.append(Cluster(var.uid, frozenset({var.uid})))
+    clusters.sort(key=lambda c: c.cid)
+
+    name_map = _build_name_map(functions, variables)
+    variables.sort(key=lambda v: v.uid)
+    return DependenceResult(
+        variables=variables,
+        clusters=clusters,
+        name_map=name_map,
+        edges=edge_records,
+        slot_of_variable={
+            var.uid: slot for slot, var in slot_var.items()
+        },
+    )
+
+
+def _collect_edges(functions: dict[str, FunctionScan]) -> list[DependenceEdge]:
+    edges: list[DependenceEdge] = []
+    for fn in functions.values():
+        for alias in fn.aliases:
+            edges.append(DependenceEdge(alias.target, alias.source, "alias"))
+        for callee_name, args in fn.callsites:
+            callee = functions.get(callee_name)
+            if callee is None:
+                continue
+            for arg_name, position in args:
+                if arg_name is None or position >= len(callee.params):
+                    continue
+                edges.append(DependenceEdge(
+                    Slot(fn.name, arg_name),
+                    Slot(callee_name, callee.params[position]),
+                    "call-binding",
+                ))
+        for target, callee_name in fn.call_targets:
+            callee = functions.get(callee_name)
+            if callee is None:
+                continue
+            for returned in callee.returns:
+                edges.append(DependenceEdge(
+                    Slot(fn.name, target),
+                    Slot(callee_name, returned),
+                    "return-binding",
+                ))
+    return edges
+
+
+def _propagate_arrayness(
+    functions: dict[str, FunctionScan], edges: list[tuple[Slot, Slot]]
+) -> set[Slot]:
+    """Fixpoint: which slots hold arrays (pointer-typed entities)."""
+    adjacency: dict[Slot, list[Slot]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+
+    worklist: list[Slot] = []
+    for fn in functions.values():
+        for decl in fn.declarations:
+            if decl.decl_kind == "array":
+                worklist.append(decl.slot)
+        for name in fn.subscripted:
+            worklist.append(Slot(fn.name, name))
+
+    array_slots: set[Slot] = set()
+    while worklist:
+        slot = worklist.pop()
+        if slot in array_slots:
+            continue
+        array_slots.add(slot)
+        worklist.extend(adjacency.get(slot, ()))
+    return array_slots
+
+
+def _make_variables(
+    functions: dict[str, FunctionScan],
+    array_slots: set[Slot],
+    entry: str | None,
+) -> tuple[list[Variable], dict[Slot, Variable]]:
+    variables: list[Variable] = []
+    slot_var: dict[Slot, Variable] = {}
+
+    def add(slot: Slot, var: Variable) -> None:
+        variables.append(var)
+        slot_var[slot] = var
+
+    for fn in functions.values():
+        declared_params = set()
+        for decl in fn.declarations:
+            kind = {
+                "array": VariableKind.ARRAY,
+                "scalar": VariableKind.SCALAR,
+                "param": VariableKind.PARAM,
+            }[decl.decl_kind]
+            pointer = kind is VariableKind.ARRAY or decl.slot in array_slots
+            add(decl.slot, Variable(decl.slot.name, kind, fn.name, fn.module, pointer))
+            if kind is VariableKind.PARAM:
+                declared_params.add(decl.slot.name)
+        if fn.name == entry:
+            continue  # entry parameters carry raw external data
+        for param in fn.params:
+            slot = Slot(fn.name, param)
+            if param in declared_params or slot in slot_var:
+                continue
+            if slot in array_slots:
+                add(slot, Variable(param, VariableKind.PARAM, fn.name, fn.module, True))
+    return variables, slot_var
+
+
+def _check_scalar_consistency(
+    functions: dict[str, FunctionScan], array_slots: set[Slot]
+) -> None:
+    for fn in functions.values():
+        for decl in fn.declarations:
+            if decl.decl_kind == "scalar" and decl.slot in array_slots:
+                raise StyleError(
+                    f"{fn.module}.{fn.name}: {decl.slot.name!r} is declared "
+                    "ws.scalar but flows into array (pointer) context"
+                )
+
+
+def _build_name_map(
+    functions: dict[str, FunctionScan], variables: list[Variable]
+) -> dict[str, str]:
+    """Bare declared name → uid; names must be unique program-wide so
+    the Workspace can resolve runtime declarations unambiguously."""
+    name_map: dict[str, str] = {}
+    declared_slots = {
+        (decl.slot.function, decl.slot.name)
+        for fn in functions.values()
+        for decl in fn.declarations
+    }
+    for var in variables:
+        if (var.function, var.name) not in declared_slots:
+            continue  # inferred array params have no runtime declaration
+        if var.name in name_map:
+            raise StyleError(
+                f"declared name {var.name!r} is used in more than one function "
+                f"({name_map[var.name]} and {var.uid}); MPB style requires "
+                "program-wide unique declaration names"
+            )
+        name_map[var.name] = var.uid
+    return name_map

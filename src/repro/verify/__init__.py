@@ -1,0 +1,13 @@
+"""Verification library: error metrics and quality thresholds."""
+
+from repro.verify.metrics import (
+    available_metrics, get_metric, lower_is_better, mae, mcr, mse,
+    r_squared, register_metric, rmse,
+)
+from repro.verify.quality import QualityResult, QualitySpec
+
+__all__ = [
+    "mae", "mse", "rmse", "r_squared", "mcr",
+    "register_metric", "get_metric", "available_metrics", "lower_is_better",
+    "QualitySpec", "QualityResult",
+]

@@ -1,0 +1,168 @@
+"""Verification library: error metrics comparing exact vs. approximate runs.
+
+Implements the metrics the paper's verification library provides
+(Section III-A.b): Mean Absolute Error (MAE), Root Mean Square Error
+(RMSE), Mean Square Error (MSE), coefficient of determination (R²) and
+Misclassification Rate (MCR), behind a registry so new metrics can be
+plugged in — the paper's "single point for providing verification
+extensions".
+
+All metrics treat non-finite values in the approximate output as a
+total quality loss: the result is ``nan``, which fails every threshold
+(this is how the paper's SRAD row reports ``NaN``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import VerificationError
+from repro.runtime.mparray import unwrap
+
+__all__ = [
+    "mae", "rmse", "mse", "r_squared", "mcr", "max_abs_error", "mre",
+    "register_metric", "get_metric", "available_metrics",
+    "lower_is_better",
+]
+
+MetricFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+def _as_pair(reference: Any, candidate: Any) -> tuple[np.ndarray, np.ndarray]:
+    ref = np.asarray(unwrap(reference), dtype=np.float64).ravel()
+    cand = np.asarray(unwrap(candidate), dtype=np.float64).ravel()
+    if ref.shape != cand.shape:
+        raise VerificationError(
+            f"output shapes differ: reference {ref.shape} vs candidate {cand.shape}"
+        )
+    if ref.size == 0:
+        raise VerificationError("cannot compare empty outputs")
+    return ref, cand
+
+
+def mae(reference: Any, candidate: Any) -> float:
+    """Mean Absolute Error. NaN if the candidate has non-finite values."""
+    ref, cand = _as_pair(reference, candidate)
+    if not np.all(np.isfinite(cand)):
+        return float("nan")
+    return float(np.mean(np.abs(ref - cand)))
+
+
+def mse(reference: Any, candidate: Any) -> float:
+    """Mean Square Error."""
+    ref, cand = _as_pair(reference, candidate)
+    if not np.all(np.isfinite(cand)):
+        return float("nan")
+    diff = ref - cand
+    return float(np.mean(diff * diff))
+
+
+def rmse(reference: Any, candidate: Any) -> float:
+    """Root Mean Square Error — penalises large errors more than MAE,
+    which is why the paper recommends it when large excursions in
+    continuous outputs must be avoided."""
+    return float(np.sqrt(mse(reference, candidate)))
+
+
+def r_squared(reference: Any, candidate: Any) -> float:
+    """Coefficient of determination of candidate vs. reference.
+
+    1.0 means a perfect match; values fall toward (or below) zero as
+    the approximation degrades.  Note this metric is
+    *higher-is-better*, unlike the error metrics.
+    """
+    ref, cand = _as_pair(reference, candidate)
+    if not np.all(np.isfinite(cand)):
+        return float("nan")
+    ss_res = float(np.sum((ref - cand) ** 2))
+    ss_tot = float(np.sum((ref - np.mean(ref)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else float("-inf")
+    return 1.0 - ss_res / ss_tot
+
+
+def mcr(reference: Any, candidate: Any) -> float:
+    """Misclassification Rate: fraction of discrete labels that differ.
+
+    Used by K-means, whose output is a cluster assignment rather than a
+    continuous field.
+    """
+    ref, cand = _as_pair(reference, candidate)
+    if not np.all(np.isfinite(cand)):
+        return float("nan")
+    return float(np.mean(np.rint(ref) != np.rint(cand)))
+
+
+def max_abs_error(reference: Any, candidate: Any) -> float:
+    """Maximum absolute error (L-infinity) — extension metric: the
+    tightest pointwise guarantee, useful when a single bad cell (a hot
+    spot, an option price) must stay bounded."""
+    ref, cand = _as_pair(reference, candidate)
+    if not np.all(np.isfinite(cand)):
+        return float("nan")
+    return float(np.max(np.abs(ref - cand)))
+
+
+def mre(reference: Any, candidate: Any) -> float:
+    """Mean Relative Error — extension metric: scale-free comparison
+    for outputs spanning decades (epsilon-guarded near zero)."""
+    ref, cand = _as_pair(reference, candidate)
+    if not np.all(np.isfinite(cand)):
+        return float("nan")
+    scale = np.maximum(np.abs(ref), 1e-300)
+    return float(np.mean(np.abs(ref - cand) / scale))
+
+
+_METRICS: dict[str, MetricFn] = {}
+_HIGHER_IS_BETTER: set[str] = set()
+
+
+def register_metric(name: str, fn: MetricFn, higher_is_better: bool = False) -> None:
+    """Add a metric to the verification registry.
+
+    ``name`` is case-insensitive.  Registering an existing name
+    replaces it, so users can override the built-ins.
+    """
+    key = name.strip().upper()
+    if not key:
+        raise ValueError("metric name must be non-empty")
+    _METRICS[key] = fn
+    if higher_is_better:
+        _HIGHER_IS_BETTER.add(key)
+    else:
+        _HIGHER_IS_BETTER.discard(key)
+
+
+def get_metric(name: str) -> MetricFn:
+    """Look up a metric by (case-insensitive) name."""
+    key = name.strip().upper()
+    try:
+        return _METRICS[key]
+    except KeyError:
+        raise VerificationError(
+            f"unknown quality metric {name!r}; available: {sorted(_METRICS)}"
+        ) from None
+
+
+def lower_is_better(name: str) -> bool:
+    """Direction of a metric: True for error metrics, False for R²."""
+    key = name.strip().upper()
+    if key not in _METRICS:
+        raise VerificationError(f"unknown quality metric {name!r}")
+    return key not in _HIGHER_IS_BETTER
+
+
+def available_metrics() -> tuple[str, ...]:
+    return tuple(sorted(_METRICS))
+
+
+register_metric("MAE", mae)
+register_metric("MSE", mse)
+register_metric("RMSE", rmse)
+register_metric("R2", r_squared, higher_is_better=True)
+register_metric("MCR", mcr)
+# Extension metrics beyond the paper's five:
+register_metric("LINF", max_abs_error)
+register_metric("MRE", mre)

@@ -1,0 +1,68 @@
+"""Quality specifications: a metric plus an acceptance threshold.
+
+A :class:`QualitySpec` is the user-provided verification routine of the
+paper's workflow: given the reference (all-double) output and a
+candidate output, it computes the configured error metric and decides
+whether the candidate passes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.verify.metrics import get_metric, lower_is_better
+
+__all__ = ["QualitySpec", "QualityResult"]
+
+
+@dataclass(frozen=True)
+class QualityResult:
+    """Outcome of one verification: the measured error and the verdict."""
+
+    metric: str
+    value: float
+    threshold: float
+    passed: bool
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"{self.metric}={self.value:.3e} (threshold {self.threshold:.0e}): {verdict}"
+
+
+@dataclass(frozen=True)
+class QualitySpec:
+    """A named metric and the acceptance threshold applied to it.
+
+    For error metrics (MAE, RMSE, MSE, MCR) a candidate passes when the
+    measured value is ``<= threshold``; for higher-is-better metrics
+    (R²) it passes when ``>= threshold``.  Non-finite measurements
+    never pass.
+    """
+
+    metric: str = "MAE"
+    threshold: float = 1e-6
+
+    def __post_init__(self) -> None:
+        get_metric(self.metric)  # validate eagerly
+
+    def measure(self, reference: Any, candidate: Any) -> float:
+        """The raw metric value (may be NaN)."""
+        return get_metric(self.metric)(reference, candidate)
+
+    def check(self, reference: Any, candidate: Any) -> QualityResult:
+        """Measure and apply the threshold."""
+        value = self.measure(reference, candidate)
+        if math.isnan(value):
+            passed = False
+        elif lower_is_better(self.metric):
+            passed = value <= self.threshold
+        else:
+            passed = value >= self.threshold
+        return QualityResult(self.metric.upper(), value, self.threshold, passed)
+
+    def with_threshold(self, threshold: float) -> "QualitySpec":
+        """The same metric at a different threshold (used for the
+        paper's 1e-3 / 1e-6 / 1e-8 sweeps)."""
+        return QualitySpec(self.metric, threshold)

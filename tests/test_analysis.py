@@ -1,0 +1,183 @@
+"""Tests for the analysis subpackage (convergence, comparison, export)."""
+
+import csv
+import math
+
+import pytest
+
+from helpers import ToyProgram
+
+from repro.analysis import (
+    area_under_curve,
+    compare_outcomes,
+    convergence_curve,
+    effort_summary,
+    load_outcomes,
+    outcomes_to_csv,
+    rank_outcomes,
+    summarize_many,
+    time_to_first_solution,
+    trials_to_csv,
+)
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.search import make_strategy
+
+
+def run(algorithm="DD", program=None):
+    program = program if program is not None else ToyProgram(n_clusters=4, toxic=(0,))
+    evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+    return make_strategy(algorithm).run(evaluator)
+
+
+class TestConvergence:
+    def test_curve_is_monotone_and_complete(self):
+        outcome = run("CB")
+        curve = convergence_curve(outcome)
+        assert len(curve) == outcome.evaluations
+        speedups = [p.best_speedup for p in curve]
+        assert speedups == sorted(speedups)
+        assert curve[-1].best_speedup == pytest.approx(outcome.speedup)
+
+    def test_curve_analysis_seconds_monotone(self):
+        outcome = run("CB")
+        curve = convergence_curve(outcome)
+        seconds = [p.analysis_seconds for p in curve]
+        assert seconds == sorted(seconds)
+        assert seconds[-1] > 0
+
+    def test_unsolved_search_stays_at_one(self):
+        outcome = run("DD", ToyProgram(n_clusters=3, toxic=(0, 1, 2)))
+        curve = convergence_curve(outcome)
+        assert all(p.best_speedup == 1.0 for p in curve)
+        assert time_to_first_solution(outcome) is None
+
+    def test_time_to_first_solution(self):
+        outcome = run("CB")
+        first = time_to_first_solution(outcome)
+        assert first is not None
+        evaluations, seconds = first
+        assert 1 <= evaluations <= outcome.evaluations
+        assert seconds > 0
+
+    def test_area_under_curve_bounds(self):
+        outcome = run("CB")
+        auc = area_under_curve(outcome)
+        assert 1.0 <= auc <= outcome.speedup + 1e-9
+
+    def test_effort_summary_counts(self):
+        outcome = run("HR", ToyProgram(
+            n_clusters=2, members_per_cluster=2, toxic=(0,),
+            functions=("f", "g"),
+        ))
+        summary = effort_summary(outcome)
+        assert summary.evaluations == outcome.evaluations
+        total = (summary.passed + summary.failed_quality
+                 + summary.compile_errors + summary.runtime_errors)
+        assert total == summary.evaluations
+        assert summary.compile_errors > 0
+        assert 0.0 < summary.wasted_fraction <= 1.0
+        assert "compile errors" in str(summary)
+
+
+class TestComparison:
+    def test_compare_same_problem(self):
+        dd = run("DD")
+        cb = run("CB")
+        delta = compare_outcomes(dd, cb)
+        assert delta.strategy_a == "delta-debugging"
+        assert delta.strategy_b == "combinational"
+        assert delta.evaluations_delta == cb.evaluations - dd.evaluations
+        assert delta.same_configuration  # both find the same optimum
+        assert "combinational vs delta-debugging" in str(delta)
+
+    def test_compare_rejects_different_problems(self):
+        a = run("DD", ToyProgram(n_clusters=2))
+        b = run("DD", ToyProgram(n_clusters=2, threshold=1e-3))
+        with pytest.raises(ValueError, match="different problems"):
+            compare_outcomes(a, b)
+
+    def test_nan_delta_when_one_fails(self):
+        good = run("DD")
+        bad = run("DD", ToyProgram(n_clusters=4, toxic=(0, 1, 2, 3)))
+        # same program name/threshold, so comparable
+        delta = compare_outcomes(good, bad)
+        assert math.isnan(delta.speedup_delta)
+        assert not delta.same_configuration
+
+    def test_rank_puts_solutions_first(self):
+        solved = run("DD")
+        unsolved = run("DD", ToyProgram(n_clusters=4, toxic=(0, 1, 2, 3)))
+        ranked = rank_outcomes([unsolved, solved])
+        assert ranked[0] is solved
+        assert ranked[-1] is unsolved
+
+    def test_rank_breaks_speedup_ties_by_anytime_performance(self):
+        cb = run("CB")      # finds the optimum early in its sweep
+        dd = run("DD")      # same optimum, but first trials fail
+        ranked = rank_outcomes([cb, dd])
+        # both reach the same speedup; CB banked it earlier (higher
+        # area under the convergence curve), so it ranks first
+        assert area_under_curve(cb) > area_under_curve(dd)
+        assert ranked[0] is cb
+
+    def test_summarize_many_lines(self):
+        lines = summarize_many([run("DD"), run("GA")])
+        assert len(lines) == 2
+        assert any("delta-debugging" in line for line in lines)
+        assert all("SU=" in line for line in lines)
+
+
+class TestExport:
+    def test_trials_to_csv(self, tmp_path):
+        outcome = run("CB")
+        path = trials_to_csv(outcome, tmp_path / "trials.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "index"
+        assert len(rows) == outcome.evaluations + 1
+
+    def test_outcomes_to_csv(self, tmp_path):
+        outcomes = [run("DD"), run("GA")]
+        path = outcomes_to_csv(outcomes, tmp_path / "outcomes.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 3
+        assert rows[1][1] == "delta-debugging"
+
+    def test_load_outcomes_roundtrip(self, tmp_path):
+        first, second = run("DD"), run("CB")
+        first.save(tmp_path / "a.json")
+        second.save(tmp_path / "b.json")
+        loaded = load_outcomes(tmp_path)
+        assert len(loaded) == 2
+        strategies = {o.strategy for o in loaded}
+        assert strategies == {"delta-debugging", "combinational"}
+
+
+class TestReportCli:
+    def test_report_single(self, tmp_path, capsys):
+        run("DD").save(tmp_path / "dd.json")
+        from repro.harness.cli import main
+        assert main(["report", str(tmp_path / "dd.json")]) == 0
+        out = capsys.readouterr().out
+        assert "evaluations" in out
+        assert "simulated hours" in out
+
+    def test_report_ranked_group(self, tmp_path, capsys):
+        run("DD").save(tmp_path / "dd.json")
+        run("GA").save(tmp_path / "ga.json")
+        from repro.harness.cli import main
+        assert main([
+            "report", str(tmp_path / "dd.json"), str(tmp_path / "ga.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ranked best-first" in out
+
+    def test_report_convergence_flag(self, tmp_path, capsys):
+        run("CB").save(tmp_path / "cb.json")
+        from repro.harness.cli import main
+        assert main([
+            "report", str(tmp_path / "cb.json"), "--convergence",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "convergence of" in out

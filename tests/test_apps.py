@@ -1,0 +1,147 @@
+"""Tests for the seven proxy applications (paper Section III-B)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import application_benchmarks, get_benchmark
+from repro.core.types import Precision, PrecisionConfig
+from repro.verify.metrics import get_metric, mae, mcr
+
+APPS = ("blackscholes", "cfd", "hotspot", "hpccg", "kmeans", "lavamd", "srad")
+
+
+def test_suite_has_seven_applications():
+    assert application_benchmarks() == tuple(sorted(APPS))
+
+
+@pytest.mark.parametrize("name", APPS)
+class TestEveryApplication:
+    def test_baseline_execution_finite(self, name, data_env):
+        bench = get_benchmark(name)
+        result = bench.execute(PrecisionConfig())
+        assert np.all(np.isfinite(result.output))
+        assert result.modeled_seconds > 0
+
+    def test_deterministic_across_instances(self, name, data_env):
+        a = get_benchmark(name).execute(PrecisionConfig()).output
+        b = get_benchmark(name).execute(PrecisionConfig()).output
+        np.testing.assert_array_equal(a, b)
+
+    def test_typeforge_analysis_nontrivial(self, name, data_env):
+        report = get_benchmark(name).report()
+        assert report.total_variables >= 15
+        assert 1 < report.total_clusters <= report.total_variables
+
+    def test_quality_metric_registered(self, name, data_env):
+        bench = get_benchmark(name)
+        get_metric(bench.metric)  # must not raise
+
+
+class TestPaperBehaviours:
+    def test_blackscholes_weak_clustering(self, data_env):
+        """Most Blackscholes locations are scalars: TC close to TV."""
+        report = get_benchmark("blackscholes").report()
+        assert report.total_clusters / report.total_variables > 0.8
+
+    def test_cfd_strong_clustering(self, data_env):
+        """CFD's parameter-pointer style collapses many variables."""
+        report = get_benchmark("cfd").report()
+        assert report.total_clusters / report.total_variables < 0.35
+
+    def test_srad_single_precision_overflows_to_nan(self, data_env):
+        """The paper's SRAD row: output destroyed at single precision."""
+        bench = get_benchmark("srad")
+        base = bench.execute(PrecisionConfig())
+        single = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+        assert np.all(np.isfinite(base.output))
+        assert not np.all(np.isfinite(single.output))
+        assert math.isnan(mae(base.output, single.output))
+
+    def test_kmeans_single_preserves_assignment(self, data_env):
+        bench = get_benchmark("kmeans")
+        base = bench.execute(PrecisionConfig())
+        single = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+        assert mcr(base.output, single.output) == 0.0
+
+    def test_kmeans_reads_typed_input_file(self, data_env):
+        bench = get_benchmark("kmeans")
+        inputs = bench.inputs()
+        assert inputs["path"].exists()
+        result = bench.execute(PrecisionConfig())
+        assert result.profile.io_bytes > 0
+
+    def test_lavamd_largest_conversion_speedup(self, data_env):
+        """LavaMD's cache-residency effect tops the suite (paper 2.66x)."""
+        speedups = {}
+        for name in APPS:
+            bench = get_benchmark(name)
+            base = bench.execute(PrecisionConfig())
+            single = bench.execute_manual(Precision.SINGLE)
+            speedups[name] = base.modeled_seconds / single.modeled_seconds
+        assert max(speedups, key=speedups.get) == "lavamd"
+        assert speedups["lavamd"] > 2.0
+
+    def test_lavamd_footprint_crosses_cache_boundary(self, data_env):
+        from repro.runtime.machine import DEFAULT_MACHINE
+        bench = get_benchmark("lavamd")
+        base = bench.execute(PrecisionConfig())
+        single = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+        llc = DEFAULT_MACHINE.cache_levels[-1].capacity_bytes
+        assert base.profile.peak_footprint > llc
+        assert single.profile.peak_footprint <= llc
+
+    def test_hotspot_literal_limits_tool_speedup(self, data_env):
+        """Typeforge cannot demote the double literal, so the manual
+        conversion (which rewrites it) is faster (paper Section IV)."""
+        bench = get_benchmark("hotspot")
+        base = bench.execute(PrecisionConfig())
+        tool = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+        manual = bench.execute_manual(Precision.SINGLE)
+        tool_speedup = base.modeled_seconds / tool.modeled_seconds
+        manual_speedup = base.modeled_seconds / manual.modeled_seconds
+        assert manual_speedup > tool_speedup > 1.2
+
+    def test_hotspot_passes_strictest_threshold(self, data_env):
+        """HotSpot converts wholesale even at 1e-8 (paper Table V)."""
+        bench = get_benchmark("hotspot")
+        base = bench.execute(PrecisionConfig())
+        single = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+        assert mae(base.output, single.output) <= 1e-8
+
+    def test_hpccg_no_speedup_from_precision(self, data_env):
+        """Index-gather dominated: lowering floats barely helps."""
+        bench = get_benchmark("hpccg")
+        base = bench.execute(PrecisionConfig())
+        single = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+        speedup = base.modeled_seconds / single.modeled_seconds
+        assert 0.9 < speedup < 1.35
+
+    def test_hpccg_converges(self, data_env):
+        """CG must actually solve the system at double precision."""
+        import numpy as np
+        bench = get_benchmark("hpccg")
+        result = bench.execute(PrecisionConfig())
+        assert np.max(np.abs(result.output)) < 1e3  # bounded solution
+
+    def test_blackscholes_single_error_scale(self, data_env):
+        """Paper Table IV: quality loss ~4e-6."""
+        bench = get_benchmark("blackscholes")
+        base = bench.execute(PrecisionConfig())
+        single = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+        error = mae(base.output, single.output)
+        assert 1e-7 < error < 1e-4
+
+    def test_cfd_single_error_scale(self, data_env):
+        """Paper Table IV: quality loss ~1.1e-7 (passes 1e-6, fails 1e-8)."""
+        bench = get_benchmark("cfd")
+        base = bench.execute(PrecisionConfig())
+        single = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+        error = mae(base.output, single.output)
+        assert 1e-8 < error < 1e-6
+
+    def test_multi_module_hierarchy(self, data_env):
+        """CFD and HPCCG split compute kernels into separate modules."""
+        assert len(get_benchmark("cfd").report().modules()) == 2
+        assert len(get_benchmark("hpccg").report().modules()) == 2

@@ -1,0 +1,57 @@
+"""Tests for the mixpbench-experiments command-line runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_experiments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.results_dir == "results"
+        assert args.workers == 1
+        assert args.max_evaluations is None
+        assert not args.no_cache
+
+    def test_multiple_experiments(self):
+        args = build_parser().parse_args(["table1", "table2"])
+        assert args.experiments == ["table1", "table2"]
+
+
+class TestMain:
+    def test_unknown_experiment_exits_2(self, capsys, tmp_path):
+        code = main(["table9", "--results-dir", str(tmp_path)])
+        assert code == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_static_tables_run(self, capsys, tmp_path, data_env):
+        code = main(["table1", "table2", "--results-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "table2.csv").exists()
+
+    def test_no_cache_flag(self, capsys, tmp_path, data_env):
+        code = main([
+            "table4", "--results-dir", str(tmp_path), "--no-cache",
+        ])
+        assert code == 0
+        assert not (tmp_path / "searches").exists()
+
+    def test_all_expands(self):
+        args = build_parser().parse_args(["all"])
+        names = args.experiments
+        assert names == ["all"]
+        # expansion happens in main(); check the canonical tuple instead
+        assert set(EXPERIMENTS) >= {"table1", "table5", "fig3", "insights"}
+
+    def test_timing_line_printed(self, capsys, tmp_path, data_env):
+        main(["table1", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "[table1:" in out

@@ -1,0 +1,167 @@
+"""Tests for the beyond-the-paper extensions: the cluster-aware
+hierarchical strategy (HRC) and half-precision targeting."""
+
+import numpy as np
+import pytest
+
+from helpers import ToyProgram
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.results import EvaluationStatus
+from repro.core.types import Precision
+from repro.core.variables import Granularity
+from repro.search import (
+    ClusterHierarchicalSearch,
+    DeltaDebugSearch,
+    HierarchicalSearch,
+    build_cluster_hierarchy,
+    make_strategy,
+)
+
+
+def _evaluator(program):
+    return ConfigurationEvaluator(program, measurement_noise=0.0)
+
+
+class TestClusterHierarchy:
+    def test_registered_as_hrc(self):
+        strategy = make_strategy("HRC")
+        assert strategy.strategy_name == "hierarchical-clustered"
+        assert strategy.granularity is Granularity.CLUSTER
+
+    def test_tree_spans_all_clusters(self):
+        program = ToyProgram(n_clusters=5, members_per_cluster=2,
+                             functions=("f", "g"))
+        root = build_cluster_hierarchy(program.search_space())
+        assert len(root.variables) == 5
+        leaf_union = frozenset().union(
+            *(node.variables for node in root.walk() if node.is_leaf)
+        )
+        assert leaf_union == root.variables
+
+    def test_cluster_homes_by_majority(self):
+        program = ToyProgram(n_clusters=4, functions=("f", "g"))
+        root = build_cluster_hierarchy(program.search_space())
+        labels = sorted(
+            node.label for node in root.walk() if node.label.startswith("function:")
+        )
+        assert labels == ["function:f", "function:g"]
+
+
+class TestHrcSearch:
+    def test_never_produces_compile_errors(self):
+        program = ToyProgram(
+            n_clusters=4, members_per_cluster=3, toxic=(0,),
+            functions=("f", "g"),
+        )
+        outcome = ClusterHierarchicalSearch().run(_evaluator(program))
+        assert outcome.found_solution
+        assert all(
+            t.status is not EvaluationStatus.COMPILE_ERROR
+            for t in outcome.trials
+        )
+
+    def test_hr_wastes_evaluations_hrc_does_not(self):
+        def fresh():
+            return ToyProgram(
+                n_clusters=4, members_per_cluster=3, toxic=(0,),
+                functions=("f", "g"),
+            )
+
+        hr = HierarchicalSearch().run(_evaluator(fresh()))
+        hrc = ClusterHierarchicalSearch().run(_evaluator(fresh()))
+        hr_wasted = sum(
+            1 for t in hr.trials if t.status is EvaluationStatus.COMPILE_ERROR
+        )
+        assert hr_wasted > 0
+        assert hrc.found_solution
+        assert hrc.evaluations <= hr.evaluations
+
+    def test_matches_dd_solution_on_toy(self):
+        def fresh():
+            return ToyProgram(n_clusters=6, toxic=(2,), functions=("f", "g", "h"))
+
+        dd = DeltaDebugSearch().run(_evaluator(fresh()))
+        hrc = ClusterHierarchicalSearch().run(_evaluator(fresh()))
+        program = fresh()
+        space = program.search_space()
+        assert space.lowered_location_set(hrc.final.config) == \
+            space.lowered_location_set(dd.final.config)
+
+    def test_wholesale_pass_is_single_evaluation(self):
+        program = ToyProgram(n_clusters=4, functions=("f", "g"))
+        outcome = ClusterHierarchicalSearch().run(_evaluator(program))
+        assert outcome.evaluations == 1
+
+    def test_nothing_convertible(self):
+        program = ToyProgram(n_clusters=2, toxic=(0, 1))
+        outcome = ClusterHierarchicalSearch().run(_evaluator(program))
+        assert not outcome.found_solution
+
+
+class TestHalfPrecisionTarget:
+    def test_dd_can_target_half(self):
+        program = ToyProgram(n_clusters=3)
+        strategy = DeltaDebugSearch()
+        strategy.target_precision = Precision.HALF
+        outcome = strategy.run(_evaluator(program))
+        assert outcome.found_solution
+        precisions = set(outcome.final.config.values())
+        assert precisions == {Precision.HALF}
+
+    def test_half_workspace_dtypes(self):
+        from repro.benchmarks.base import get_benchmark
+        bench = get_benchmark("gen-lin-recur")
+        config = bench.search_space().uniform_config(Precision.HALF)
+        result = bench.execute(config)
+        # dyadic inputs remain exact even in fp16
+        base = bench.execute(
+            bench.search_space().uniform_config(Precision.DOUBLE)
+        )
+        np.testing.assert_array_equal(result.output, base.output)
+
+    def test_half_faster_than_single_on_cheap_ops(self):
+        from repro.benchmarks.base import get_benchmark
+        bench = get_benchmark("banded-lin-eq")
+        single = bench.execute(bench.search_space().uniform_config(Precision.SINGLE))
+        half = bench.execute(bench.search_space().uniform_config(Precision.HALF))
+        assert half.modeled_seconds < single.modeled_seconds
+
+    def test_half_overflow_detected(self):
+        """innerprod's integer sums exceed fp16 range mid-search? They
+        stay within 65504 at the shipped size — verify fp16 is at
+        least *evaluable* and the quality machinery sees the result."""
+        from repro.benchmarks.base import get_benchmark
+        from repro.verify.metrics import mae
+        bench = get_benchmark("planckian")
+        base = bench.execute(bench.search_space().uniform_config(Precision.DOUBLE))
+        half = bench.execute(bench.search_space().uniform_config(Precision.HALF))
+        error = mae(base.output, half.output)
+        assert error > 1e-6 or error != error  # large or NaN, never tiny
+
+
+class TestExtensionExperiments:
+    def test_ext_half_rows(self, tmp_path, data_env):
+        from repro.experiments import ext_half
+        rows = ext_half.rows()
+        assert len(rows) == 10
+        by_name = {row[0]: row for row in rows}
+        # dyadic kernels are exact under both targets
+        assert by_name["gen-lin-recur"][2] == "0"
+        assert by_name["gen-lin-recur"][5] == "0"
+
+    def test_ext_hrc_cells(self, tmp_path, data_env):
+        """One HR/HRC pair on one app (keeps the unit test fast)."""
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.ext_hrc import _cells
+        ctx = ExperimentContext(results_dir=tmp_path, use_disk_cache=False)
+        row = _cells(ctx, "hpccg", 1e-8)
+        ev_hr, wasted_hr, _su_hr, ev_hrc, wasted_hrc, _su_hrc = row
+        assert wasted_hrc == 0          # HRC never splits a cluster
+        assert wasted_hr > 0            # HR does
+        assert ev_hrc < ev_hr           # and pays for it
+
+    def test_runner_knows_extensions(self):
+        from repro.experiments.runner import EXPERIMENTS
+        assert "ext-half" in EXPERIMENTS
+        assert "ext-hrc" in EXPERIMENTS

@@ -1,0 +1,107 @@
+"""Failure injection: every strategy must survive a misbehaving program.
+
+A program that crashes on some configurations (the evaluator reports
+``RUNTIME_ERROR``), returns NaN outputs, or blows the budget must
+never take a search down with an unhandled exception — the harness has
+to keep scheduling the rest of the grid.
+"""
+
+import math
+
+import pytest
+
+from helpers import ToyProgram
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.results import EvaluationStatus
+from repro.core.types import Precision
+from repro.search import make_strategy
+from repro.search.registry import ALGORITHM_ORDER
+
+ALL_STRATEGIES = ALGORITHM_ORDER + ("HRC", "RS", "LD")
+
+
+class CrashingProgram(ToyProgram):
+    """Raises when any cluster beyond the first two is lowered."""
+
+    def execute(self, config):
+        lowered = self.lowered_clusters(config)
+        fragile = {c.cid for c in self._space.clusters[2:]}
+        if any(c.cid in fragile for c in lowered):
+            self.executions += 1
+            raise FloatingPointError("synthetic numerical crash")
+        return super().execute(config)
+
+
+class NanProgram(ToyProgram):
+    """Outputs NaN whenever the last cluster is lowered."""
+
+    def execute(self, config):
+        result = super().execute(config)
+        lowered = {c.cid for c in self.lowered_clusters(config)}
+        if self._space.clusters[-1].cid in lowered:
+            result.output[:] = float("nan")
+        return result
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestCrashingProgram:
+    def test_search_survives_runtime_errors(self, strategy):
+        program = CrashingProgram(n_clusters=5, functions=("f", "g"))
+        evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+        outcome = make_strategy(strategy).run(evaluator)  # must not raise
+        crashed = [
+            t for t in outcome.trials
+            if t.status is EvaluationStatus.RUNTIME_ERROR
+        ]
+        # the fragile region is large; every strategy touches it
+        assert crashed or outcome.evaluations <= 2
+        if outcome.found_solution:
+            lowered = program.search_space().lowered_location_set(
+                outcome.final.config,
+            )
+            fragile = {c.cid for c in program.search_space().clusters[2:]}
+            assert not (lowered & fragile)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestNanProgram:
+    def test_nan_outputs_fail_verification(self, strategy):
+        program = NanProgram(n_clusters=4, functions=("f", "g"))
+        evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+        outcome = make_strategy(strategy).run(evaluator)
+        if outcome.found_solution:
+            last = program.search_space().clusters[-1].cid
+            lowered = program.search_space().lowered_location_set(
+                outcome.final.config,
+            )
+            assert last not in lowered
+        nan_trials = [
+            t for t in outcome.trials
+            if t.status is EvaluationStatus.FAILED_QUALITY
+            and math.isnan(t.error_value)
+        ]
+        # NaN shows up as a quality failure, never as a crash
+        for trial in nan_trials:
+            assert trial.status is EvaluationStatus.FAILED_QUALITY
+
+
+class TestRuntimeErrorAccounting:
+    def test_runtime_error_trial_shape(self):
+        program = CrashingProgram(n_clusters=5)
+        evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+        space = evaluator.space()
+        fragile = space.locations()[3]
+        trial = evaluator.evaluate(space.lower(fragile))
+        assert trial.status is EvaluationStatus.RUNTIME_ERROR
+        assert math.isnan(trial.speedup)
+        assert math.isnan(trial.error_value)
+        assert trial.analysis_seconds > 0  # build + failed run charged
+
+    def test_half_target_on_crashing_program(self):
+        strategy = make_strategy("DD")
+        strategy.target_precision = Precision.HALF
+        program = CrashingProgram(n_clusters=5)
+        evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+        outcome = strategy.run(evaluator)
+        assert outcome.evaluations >= 1

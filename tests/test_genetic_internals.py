@@ -1,0 +1,103 @@
+"""White-box tests of the genetic algorithm's machinery."""
+
+import numpy as np
+import pytest
+
+from helpers import ToyProgram
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.results import EvaluationStatus
+from repro.search.genetic import GeneticSearch
+
+
+def outcome_for(program=None, **ga_kwargs):
+    program = program if program is not None else ToyProgram(n_clusters=6, toxic=(0,))
+    evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+    return GeneticSearch(**ga_kwargs).run(evaluator), program
+
+
+class TestPopulationMechanics:
+    def test_next_generation_preserves_population_size(self):
+        strategy = GeneticSearch(population_size=8, seed=1)
+        rng = np.random.default_rng(0)
+        n = 10
+        population = [rng.random(n) < 0.5 for _ in range(8)]
+        scored = [(float(i), None) for i in range(8)]
+        offspring = strategy._next_generation(
+            population, scored, rng, n, lambda: None,
+        )
+        assert len(offspring) == 8
+
+    def test_elite_carried_over(self):
+        strategy = GeneticSearch(population_size=6, seed=1)
+        rng = np.random.default_rng(0)
+        n = 12
+        population = [rng.random(n) < 0.5 for _ in range(6)]
+        fitnesses = [0.1, 0.2, 5.0, 0.3, 0.1, 0.2]
+        scored = [(fit, None) for fit in fitnesses]
+        offspring = strategy._next_generation(
+            population, scored, rng, n, lambda: None,
+        )
+        np.testing.assert_array_equal(offspring[0], population[2])
+
+    def test_immigrant_is_a_singleton(self):
+        strategy = GeneticSearch(population_size=6, seed=1)
+        rng = np.random.default_rng(0)
+        n = 12
+
+        def next_singleton():
+            genome = np.zeros(n, dtype=bool)
+            genome[4] = True
+            return genome
+
+        population = [rng.random(n) < 0.5 for _ in range(6)]
+        scored = [(1.0, None)] * 6
+        offspring = strategy._next_generation(
+            population, scored, rng, n, next_singleton,
+        )
+        assert offspring[1].sum() == 1
+        assert offspring[1][4]
+
+
+class TestSearchBehaviour:
+    def test_evaluation_budget_scales_with_generations(self):
+        small, _ = outcome_for(max_generations=2, stagnation_limit=2, seed=5)
+        large, _ = outcome_for(max_generations=12, stagnation_limit=12, seed=5)
+        assert large.evaluations >= small.evaluations
+
+    def test_stagnation_stops_early(self):
+        # a trivially easy program: everything passes immediately, the
+        # best fitness plateaus, and stagnation should cut the run well
+        # below the generation cap
+        program = ToyProgram(n_clusters=2)
+        evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+        outcome = GeneticSearch(
+            max_generations=50, stagnation_limit=2, seed=5,
+        ).run(evaluator)
+        cap = 6 * 51
+        assert outcome.evaluations < cap / 4
+
+    def test_different_seeds_may_find_different_paths(self):
+        a, _ = outcome_for(seed=1)
+        b, _ = outcome_for(seed=2)
+        # both valid; evaluation *sequences* differ (nondeterminism of
+        # the method across seeds, determinism within one — the paper's
+        # point about GA's randomness)
+        assert a.found_solution and b.found_solution
+        assert (a.evaluations != b.evaluations
+                or a.final.config != b.final.config
+                or a.trials != b.trials)
+
+    def test_never_returns_failing_config(self):
+        outcome, program = outcome_for(seed=9)
+        assert outcome.found_solution
+        final_trials = [
+            t for t in outcome.trials if t.config == outcome.final.config
+        ]
+        assert final_trials
+        assert all(t.status is EvaluationStatus.PASSED for t in final_trials)
+
+    def test_cached_duplicates_do_not_inflate_ev(self):
+        outcome, _ = outcome_for(seed=11)
+        configs = [t.config for t in outcome.trials]
+        assert len(configs) == len(set(configs))  # trial log is unique

@@ -1,0 +1,126 @@
+"""Edge cases of the harness runner and scheduler."""
+
+import math
+
+import pytest
+
+from repro.harness.config import parse_config
+from repro.harness.runner import Harness
+from repro.harness.scheduler import SearchJob, run_grid
+
+
+class TestRunnerEdgeCases:
+    def test_no_solution_report(self, tmp_path, data_env):
+        """SRAD at an impossible threshold with a tiny evaluation cap:
+        the analysis completes but finds nothing; the report must say
+        so without NaN crashes."""
+        config = parse_config({
+            "srad": {
+                "threshold": 1e-30,
+                "analysis": {
+                    "fs": {
+                        "name": "floatSmith",
+                        "extra_args": {
+                            "algorithm": "RS",
+                            "strategy_args": {"budget": 3},
+                        },
+                    },
+                },
+            },
+        })[0]
+        report = Harness(output_dir=tmp_path).run_entry(config)
+        analysis = report.analyses[0]
+        assert not analysis.found_solution
+        assert math.isnan(analysis.speedup)
+        assert math.isnan(analysis.error_value)
+        assert analysis.config is None
+        assert analysis.artifact.exists()
+
+    def test_timeout_report(self, tmp_path, data_env):
+        """A micro budget forces a timeout; the harness reports it."""
+        config = parse_config({
+            "blackscholes": {
+                "threshold": 1e-8,
+                "time_limit_hours": 0.1,
+                "analysis": {
+                    "fs": {"name": "floatSmith",
+                           "extra_args": {"algorithm": "DD"}},
+                },
+            },
+        })[0]
+        report = Harness(output_dir=tmp_path).run_entry(config)
+        analysis = report.analyses[0]
+        assert analysis.timed_out
+        assert not analysis.found_solution
+
+    def test_multiple_analyses_share_deployment(self, tmp_path, data_env):
+        config = parse_config({
+            "tridiag": {
+                "threshold": 1e-8,
+                "analysis": {
+                    "first": {"name": "floatSmith",
+                              "extra_args": {"algorithm": "DD"}},
+                    "second": {"name": "floatSmith",
+                               "extra_args": {"algorithm": "GA"}},
+                },
+            },
+        })[0]
+        report = Harness(output_dir=tmp_path).run_entry(config)
+        assert [a.identifier for a in report.analyses] == ["first", "second"]
+        assert {a.strategy for a in report.analyses} == {
+            "delta-debugging", "genetic",
+        }
+
+    def test_metric_override_from_yaml(self, tmp_path, data_env):
+        """YAML can verify with a different metric than the benchmark's
+        default (here LINF instead of MAE)."""
+        config = parse_config({
+            "tridiag": {
+                "metric": "LINF",
+                "threshold": 1e-6,
+                "analysis": {
+                    "fs": {"name": "floatSmith",
+                           "extra_args": {"algorithm": "DD"}},
+                },
+            },
+        })[0]
+        report = Harness(output_dir=tmp_path).run_entry(config)
+        assert report.metric == "LINF"
+        assert report.analyses[0].found_solution
+
+    def test_extension_strategy_via_yaml(self, tmp_path, data_env):
+        config = parse_config({
+            "hydro-1d": {
+                "threshold": 1e-8,
+                "analysis": {
+                    "hrc": {"name": "floatSmith",
+                            "extra_args": {"algorithm": "HRC"}},
+                },
+            },
+        })[0]
+        report = Harness(output_dir=tmp_path).run_entry(config)
+        assert report.analyses[0].strategy == "hierarchical-clustered"
+        assert report.analyses[0].found_solution
+
+
+class TestSchedulerEdgeCases:
+    def test_metric_override_in_job(self, data_env):
+        job = SearchJob("tridiag", "DD", 1e-6, metric="RMSE")
+        result = run_grid([job])[0]
+        assert result.ok
+        assert result.outcome.found_solution
+
+    def test_max_evaluations_propagates(self, data_env):
+        job = SearchJob("eos", "CB", 1e-8, max_evaluations=1)
+        result = run_grid([job])[0]
+        assert result.ok
+        assert result.outcome.timed_out
+        assert result.outcome.evaluations == 1
+
+    def test_empty_grid(self):
+        assert run_grid([]) == []
+
+    def test_unknown_algorithm_is_captured(self, data_env):
+        result = run_grid([SearchJob("tridiag", "ZZ", 1e-6)])[0]
+        assert not result.ok
+        assert "unknown search strategy" in result.error

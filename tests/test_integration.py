@@ -1,0 +1,142 @@
+"""Integration tests: cross-component behaviour of the whole stack."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import available_benchmarks, get_benchmark
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.results import SearchOutcome
+from repro.core.types import Precision, PrecisionConfig
+from repro.core.variables import Granularity
+from repro.search import make_strategy
+from repro.verify.quality import QualitySpec
+
+
+class TestDtypePlumbing:
+    """The configuration's dtype choices must actually reach the data."""
+
+    @pytest.mark.parametrize("name", ["hydro-1d", "eos", "blackscholes"])
+    def test_partial_config_changes_output(self, name, data_env):
+        bench = get_benchmark(name)
+        space = bench.search_space()
+        base = bench.execute(PrecisionConfig())
+        multi = next((c for c in space.clusters if len(c) > 1), space.clusters[0])
+        partial = bench.execute(space.lower(multi.cid))
+        # lowering a real compute cluster must perturb the output
+        assert not np.array_equal(base.output, partial.output)
+
+    def test_uniform_configs_order_errors_monotonically(self, data_env):
+        """half error >= single error >= double error (= 0) on an
+        inexact kernel."""
+        from repro.verify.metrics import mae
+        bench = get_benchmark("hydro-1d")
+        space = bench.search_space()
+        base = bench.execute(PrecisionConfig())
+        single = mae(base.output, bench.execute(
+            space.uniform_config(Precision.SINGLE)).output)
+        half = mae(base.output, bench.execute(
+            space.uniform_config(Precision.HALF)).output)
+        assert 0.0 < single < half
+
+    def test_cluster_members_share_dtype_at_runtime(self, data_env):
+        """Executing any compilable config keeps cluster members
+        consistent — exercised via the hpccg mega-cluster, whose
+        vectors interact in every helper."""
+        bench = get_benchmark("hpccg")
+        space = bench.search_space()
+        big = max(space.clusters, key=len)
+        result = bench.execute(space.lower(big.cid))
+        assert np.all(np.isfinite(result.output))
+
+
+class TestSearchReproducibility:
+    @pytest.mark.parametrize("algorithm", ["CB", "CM", "DD", "HR", "HC", "GA", "HRC"])
+    def test_runs_are_bit_deterministic(self, algorithm, data_env):
+        def run():
+            evaluator = ConfigurationEvaluator(
+                get_benchmark("eos"), quality=QualitySpec("MAE", 1e-8),
+            )
+            return make_strategy(algorithm).run(evaluator)
+
+        first, second = run(), run()
+        assert first.evaluations == second.evaluations
+        assert first.analysis_seconds == second.analysis_seconds
+        if first.found_solution:
+            assert first.final.config == second.final.config
+            assert first.speedup == second.speedup
+
+    def test_outcome_survives_interchange_roundtrip(self, tmp_path, data_env):
+        evaluator = ConfigurationEvaluator(
+            get_benchmark("planckian"), quality=QualitySpec("MAE", 1e-8),
+        )
+        outcome = make_strategy("HR").run(evaluator)
+        path = tmp_path / "outcome.json"
+        outcome.save(path)
+        loaded = SearchOutcome.load(path)
+        assert loaded.evaluations == outcome.evaluations
+        assert loaded.final == outcome.final
+        assert [t.status for t in loaded.trials] == [t.status for t in outcome.trials]
+        json.loads(path.read_text())  # strictly valid JSON (NaN encoded)
+
+    def test_found_config_reproduces_reported_quality(self, data_env):
+        """The harness re-verifies the tuned binary; search-reported
+        quality and re-measured quality must agree exactly."""
+        bench = get_benchmark("hydro-1d")
+        quality = QualitySpec("MAE", 1e-8)
+        evaluator = ConfigurationEvaluator(bench, quality=quality)
+        outcome = make_strategy("DD").run(evaluator)
+        assert outcome.found_solution
+        base = bench.execute(PrecisionConfig())
+        tuned = bench.execute(outcome.final.config)
+        assert quality.measure(base.output, tuned.output) == outcome.error_value
+
+
+class TestBudgetAccounting:
+    def test_analysis_time_is_sum_of_trials_plus_baseline(self, data_env):
+        evaluator = ConfigurationEvaluator(
+            get_benchmark("eos"), quality=QualitySpec("MAE", 1e-8),
+        )
+        baseline_charge = evaluator.analysis_seconds
+        assert baseline_charge > 0
+        outcome = make_strategy("CB").run(evaluator)
+        trial_costs = sum(t.analysis_seconds for t in outcome.trials)
+        assert outcome.analysis_seconds == pytest.approx(
+            baseline_charge + trial_costs,
+        )
+
+    def test_compile_errors_cost_less_than_runs(self, data_env):
+        evaluator = ConfigurationEvaluator(
+            get_benchmark("eos"), quality=QualitySpec("MAE", 1e-8),
+        )
+        outcome = make_strategy("HR").run(evaluator)
+        compile_trials = [t for t in outcome.trials
+                          if t.status.value == "compile_error"]
+        run_trials = [t for t in outcome.trials if t.passed]
+        assert compile_trials and run_trials
+        assert max(t.analysis_seconds for t in compile_trials) < \
+            min(t.analysis_seconds for t in run_trials)
+
+
+class TestSuiteWideSmoke:
+    def test_every_benchmark_tunes_with_dd(self, data_env):
+        """DD completes on the entire suite at each program's default
+        threshold — the suite's core usability contract."""
+        for name in available_benchmarks():
+            bench = get_benchmark(name)
+            evaluator = ConfigurationEvaluator(bench)
+            outcome = make_strategy("DD").run(evaluator)
+            assert not outcome.timed_out, name
+            assert outcome.evaluations >= 1, name
+
+    def test_variable_and_cluster_views_are_consistent(self, data_env):
+        for name in available_benchmarks():
+            space = get_benchmark(name).search_space()
+            variable_view = space.at(Granularity.VARIABLE)
+            assert variable_view.total_variables == space.total_variables
+            assert len(variable_view.locations()) >= len(space.locations())
+            covered = set()
+            for cluster in space.clusters:
+                covered |= cluster.members
+            assert covered == {v.uid for v in space.variables}

@@ -1,0 +1,96 @@
+"""Unit tests for the typed binary I/O runtime (mp_fread / mp_fwrite)."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Precision, PrecisionConfig
+from repro.errors import MixPBenchError
+from repro.runtime.io import mp_fread, mp_fwrite, read_typed, write_typed
+from repro.runtime.memory import Workspace
+
+
+class TestTypedFiles:
+    def test_write_read_roundtrip(self, tmp_path):
+        data = np.linspace(0, 1, 17)
+        path = tmp_path / "data.bin"
+        nbytes = write_typed(path, data)
+        assert nbytes == 17 * 8
+        back = read_typed(path)
+        np.testing.assert_array_equal(back, data)
+
+    def test_stored_precision_conversion(self, tmp_path):
+        data = np.linspace(0, 1, 8)
+        path = tmp_path / "data32.bin"
+        write_typed(path, data, stored=Precision.SINGLE)
+        back = read_typed(path, stored=Precision.SINGLE)
+        assert back.dtype == np.float32
+        np.testing.assert_allclose(back, data, rtol=1e-6)
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "x.bin"
+        write_typed(path, np.ones(3))
+        assert path.exists()
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(MixPBenchError, match="not found"):
+            read_typed(tmp_path / "missing.bin")
+
+    def test_count_limits_read(self, tmp_path):
+        path = tmp_path / "d.bin"
+        write_typed(path, np.arange(10.0))
+        assert read_typed(path, count=4).shape == (4,)
+
+
+class TestWorkspaceIO:
+    def test_mp_fread_converts_to_configured_precision(self, tmp_path):
+        path = tmp_path / "input.bin"
+        write_typed(path, np.arange(6.0))
+        ws = Workspace(PrecisionConfig({"x": Precision.SINGLE}))
+        x = mp_fread(ws, "x", path)
+        assert x.dtype == np.float32
+        np.testing.assert_array_equal(x.data, np.arange(6, dtype=np.float32))
+
+    def test_mp_fread_reshapes(self, tmp_path):
+        path = tmp_path / "grid.bin"
+        write_typed(path, np.arange(12.0))
+        ws = Workspace()
+        x = mp_fread(ws, "x", path, shape=(3, 4))
+        assert x.shape == (3, 4)
+
+    def test_mp_fread_records_io(self, tmp_path):
+        path = tmp_path / "input.bin"
+        write_typed(path, np.arange(6.0))
+        ws = Workspace()
+        mp_fread(ws, "x", path)
+        assert ws.profile.io_bytes == 48
+
+    def test_mp_fwrite_converts_back_to_stored(self, tmp_path):
+        ws = Workspace(PrecisionConfig({"x": Precision.SINGLE}))
+        x = ws.array("x", init=np.linspace(0, 1, 5))
+        path = tmp_path / "out.bin"
+        mp_fwrite(ws, x, path)
+        back = read_typed(path)
+        assert back.dtype == np.float64
+        np.testing.assert_allclose(back, x.data, rtol=1e-6)
+
+    def test_mp_fwrite_counts_conversion_cast(self, tmp_path):
+        ws = Workspace(PrecisionConfig({"x": Precision.SINGLE}))
+        x = ws.array("x", init=np.ones(5))
+        mp_fwrite(ws, x, tmp_path / "out.bin")
+        assert ws.profile.cast_elements == 5
+
+    def test_listing3_pattern(self, tmp_path):
+        """The paper's Listing 3: read, compute, write — under both
+        precisions, with the file format fixed at double."""
+        path_in = tmp_path / "input.bin"
+        write_typed(path_in, np.arange(8.0))
+        outputs = {}
+        for name, precision in [("d", Precision.DOUBLE), ("s", Precision.SINGLE)]:
+            ws = Workspace(PrecisionConfig({"ptr": precision}))
+            ptr = mp_fread(ws, "ptr", path_in)
+            ptr[:] = ptr * 2.0
+            path_out = tmp_path / f"out_{name}.bin"
+            mp_fwrite(ws, ptr, path_out)
+            outputs[name] = read_typed(path_out)
+        assert outputs["d"].dtype == outputs["s"].dtype == np.float64
+        np.testing.assert_allclose(outputs["d"], outputs["s"], rtol=1e-6)

@@ -1,0 +1,167 @@
+"""Unit tests for the benchmark helper functions' mathematics.
+
+Each MPB helper is also plain numerics; these tests pin the formulas
+directly (with double-precision workspaces), independent of the
+precision machinery."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.memory import Workspace
+from repro.runtime.mparray import MPArray
+
+
+@pytest.fixture()
+def ws():
+    return Workspace(seed=0)
+
+
+def wrap(ws, values):
+    return MPArray(np.asarray(values, dtype=np.float64), ws.profile)
+
+
+class TestKernelHelpers:
+    def test_hydro_halo_is_periodic(self, ws):
+        from repro.benchmarks.kernels.hydro_1d import halo
+        u = wrap(ws, [99.0, 1.0, 2.0, 3.0, -99.0])
+        halo(ws, u)
+        assert u.data[0] == 3.0    # u[-2]
+        assert u.data[-1] == 1.0   # u[1]
+
+    def test_tridiag_sweep_elimination(self, ws):
+        from repro.benchmarks.kernels.tridiag import sweep
+        v = wrap(ws, [2.0, 4.0, 8.0])
+        sweep(ws, v)
+        np.testing.assert_array_equal(v.data, [2.0, 3.0, 6.0])
+
+    def test_gen_lin_recur_doubling_is_prefix_sum(self, ws):
+        from repro.benchmarks.kernels.gen_lin_recur import recurrence
+        w = wrap(ws, [1.0, 1.0, 1.0, 1.0])
+        recurrence(ws, w)   # halves: w[2:] += w[:2]
+        np.testing.assert_array_equal(w.data, [1.0, 1.0, 2.0, 2.0])
+
+    def test_int_predict_advance_damps(self, ws):
+        from repro.benchmarks.kernels.int_predict import advance
+        s = wrap(ws, [1.0, -2.0])
+        advance(ws, s)
+        np.testing.assert_allclose(s.data, [0.9375, -1.875])
+
+    def test_int_predict_correct_is_convex_blend(self, ws):
+        from repro.benchmarks.kernels.int_predict import correct
+        s = wrap(ws, [0.0, 4.0, 8.0])
+        correct(ws, s)
+        # s[:-1] = 0.75*s[:-1] + 0.25*s[1:]
+        np.testing.assert_allclose(s.data, [1.0, 5.0, 8.0])
+
+    def test_diff_predictor_forward_diff(self, ws):
+        from repro.benchmarks.kernels.diff_predictor import forward_diff
+        s = wrap(ws, [1.0, 3.0, 6.0])
+        forward_diff(ws, s)
+        np.testing.assert_allclose(s.data, [1.0, 1.5, 3.0])
+
+    def test_planckian_radiate_halves(self, ws):
+        from repro.benchmarks.kernels.planckian import radiate
+        f = wrap(ws, [2.0, 4.0])
+        radiate(ws, f)
+        np.testing.assert_array_equal(f.data, [1.0, 2.0])
+
+
+class TestAppHelpers:
+    def test_cfd_pressure_is_ideal_gas(self, ws):
+        from repro.benchmarks.apps.cfd_flux import GAMMA, compute_pressure
+        dens = wrap(ws, [1.0])
+        energy = wrap(ws, [2.5])
+        spd2 = wrap(ws, [0.0])
+        pressure = compute_pressure(ws, dens, energy, spd2)
+        assert float(pressure.data[0]) == pytest.approx((GAMMA - 1.0) * 2.5)
+
+    def test_cfd_speed_of_sound(self, ws):
+        from repro.benchmarks.apps.cfd_flux import GAMMA, compute_speed_of_sound
+        dens = wrap(ws, [1.0])
+        prs = wrap(ws, [1.0])
+        sos = compute_speed_of_sound(ws, dens, prs)
+        assert float(sos.data[0]) == pytest.approx(np.sqrt(GAMMA))
+
+    def test_cfd_velocity_is_momentum_over_density(self, ws):
+        from repro.benchmarks.apps.cfd_flux import compute_velocity
+        vel = compute_velocity(ws, wrap(ws, [4.0]), wrap(ws, [2.0]))
+        assert float(vel.data[0]) == 2.0
+
+    def test_cfd_speed_sqd_sums_squares(self, ws):
+        from repro.benchmarks.apps.cfd_flux import compute_speed_sqd
+        spd2 = compute_speed_sqd(
+            ws, wrap(ws, [1.0]), wrap(ws, [2.0]), wrap(ws, [2.0]),
+        )
+        assert float(spd2.data[0]) == 9.0
+
+    def test_hpccg_ddot_matches_numpy(self, ws):
+        from repro.benchmarks.apps.hpccg_ops import ddot
+        a = wrap(ws, [1.0, 2.0, 3.0])
+        b = wrap(ws, [4.0, 5.0, 6.0])
+        assert float(ddot(ws, a, b)) == 32.0
+
+    def test_hpccg_waxpby(self, ws):
+        from repro.benchmarks.apps.hpccg_ops import waxpby
+        x = wrap(ws, [1.0, 2.0])
+        y = wrap(ws, [10.0, 20.0])
+        out = wrap(ws, [0.0, 0.0])
+        waxpby(ws, 2.0, x, 0.5, y, out)
+        np.testing.assert_allclose(out.data, [7.0, 14.0])
+
+    def test_hpccg_sparsemv_identity(self, ws):
+        from repro.benchmarks.apps.hpccg_ops import sparsemv
+        # 3x3 identity in CSR with one nonzero per row
+        vals = wrap(ws, [1.0, 1.0, 1.0])
+        x = wrap(ws, [7.0, 8.0, 9.0])
+        y = wrap(ws, [0.0, 0.0, 0.0])
+        cols = np.array([0, 1, 2], dtype=np.int32)
+        row_start = np.array([0, 1, 2], dtype=np.int32)
+        sparsemv(ws, vals, x, y, cols, row_start)
+        np.testing.assert_array_equal(y.data, [7.0, 8.0, 9.0])
+
+    def test_srad_coefficient_is_clamped(self, ws):
+        from repro.benchmarks.apps.srad import diffusion_coefficient
+        jc = wrap(ws, np.full((3, 3), 2.0))
+        dn = wrap(ws, np.full((3, 3), 50.0))   # violent gradients
+        ds = wrap(ws, np.full((3, 3), -50.0))
+        dw = wrap(ws, np.full((3, 3), 50.0))
+        de = wrap(ws, np.full((3, 3), -50.0))
+        c = diffusion_coefficient(ws, jc, dn, ds, dw, de, np.float64(0.5))
+        assert np.all(c.data >= 0.0)
+        assert np.all(c.data <= 1.0)
+
+    def test_blackscholes_cndf_limits(self, ws):
+        from repro.benchmarks.apps.blackscholes import cndf
+        x = wrap(ws, [-8.0, 0.0, 8.0])
+        result = cndf(ws, x)
+        assert float(result.data[0]) == pytest.approx(0.0, abs=1e-6)
+        assert float(result.data[1]) == pytest.approx(0.5, abs=1e-6)
+        assert float(result.data[2]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_blackscholes_cndf_is_monotone(self, ws):
+        from repro.benchmarks.apps.blackscholes import cndf
+        xs = np.linspace(-4, 4, 41)
+        result = cndf(ws, wrap(ws, xs)).data
+        assert np.all(np.diff(result) > 0)
+
+    def test_lavamd_interaction_decays_with_distance(self, ws):
+        from repro.benchmarks.apps.lavamd import interaction
+        px = wrap(ws, [0.0]); py = wrap(ws, [0.0]); pz = wrap(ws, [0.0])
+        qv = wrap(ws, [1.0])
+        near = interaction(ws, px, py, pz, qv, px, py, pz, qv,
+                           0.1, 0.0, 0.0, 0.5)
+        far = interaction(ws, px, py, pz, qv, px, py, pz, qv,
+                          2.0, 0.0, 0.0, 0.5)
+        assert abs(float(near[0].data[0])) > abs(float(far[0].data[0]))
+
+    def test_hotspot_iteration_conserves_boundary(self, ws):
+        from repro.benchmarks.apps.hotspot import single_iteration
+        t_in = wrap(ws, np.full((4, 4), 0.005))
+        t_out = wrap(ws, np.zeros((4, 4)))
+        power = wrap(ws, np.zeros((4, 4)))
+        single_iteration(ws, t_in, t_out, power, np.float64(0.005),
+                         0.2, 1.0, 1.0, 0.02)
+        np.testing.assert_array_equal(t_out.data[0, :], t_in.data[0, :])
+        np.testing.assert_array_equal(t_out.data[:, -1], t_in.data[:, -1])
+        # uniform field at ambient: interior unchanged too
+        np.testing.assert_allclose(t_out.data[1:-1, 1:-1], 0.005)

@@ -1,0 +1,128 @@
+"""Unit tests for the roofline machine model."""
+
+import pytest
+
+from repro.runtime.machine import DEFAULT_MACHINE, CacheLevel, MachineModel
+from repro.runtime.profiler import OpClass, Profile
+
+
+def _profile(opclass, dtype, n, bytes_total=0.0, footprint=1):
+    profile = Profile()
+    profile.record_op(opclass, dtype, n, bytes_read=bytes_total)
+    profile.track_alloc(footprint)
+    return profile
+
+
+class TestCacheLevel:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheLevel(0, 1e9)
+        with pytest.raises(ValueError):
+            CacheLevel(1024, -1.0)
+
+
+class TestBandwidthTiering:
+    def test_small_footprint_gets_fastest_tier(self):
+        machine = DEFAULT_MACHINE
+        fastest = machine.cache_levels[0].bandwidth_bytes_per_s
+        assert machine.bandwidth(1) == fastest
+
+    def test_spill_to_dram(self):
+        machine = DEFAULT_MACHINE
+        llc = machine.cache_levels[-1]
+        assert machine.bandwidth(llc.capacity_bytes) == llc.bandwidth_bytes_per_s
+        assert machine.bandwidth(llc.capacity_bytes + 1) == machine.dram_bandwidth
+
+    def test_tiers_are_monotonic(self):
+        machine = DEFAULT_MACHINE
+        bandwidths = [lvl.bandwidth_bytes_per_s for lvl in machine.cache_levels]
+        assert bandwidths == sorted(bandwidths, reverse=True)
+        assert machine.dram_bandwidth < bandwidths[-1]
+
+
+class TestComputeRates:
+    def test_fp32_cheap_is_twice_fp64(self):
+        machine = DEFAULT_MACHINE
+        t64 = machine.time(_profile(OpClass.CHEAP, "float64", 1e9))
+        t32 = machine.time(_profile(OpClass.CHEAP, "float32", 1e9))
+        assert t64 / t32 == pytest.approx(2.0, rel=0.01)
+
+    def test_transcendental_is_dtype_independent(self):
+        machine = DEFAULT_MACHINE
+        t64 = machine.time(_profile(OpClass.TRANS, "float64", 1e8))
+        t32 = machine.time(_profile(OpClass.TRANS, "float32", 1e8))
+        assert t64 == pytest.approx(t32, rel=0.01)
+
+    def test_int_ops_dtype_independent(self):
+        machine = DEFAULT_MACHINE
+        t_a = machine.time(_profile(OpClass.INT, "int32", 1e8))
+        t_b = machine.time(_profile(OpClass.INT, "int64", 1e8))
+        assert t_a == pytest.approx(t_b)
+
+    def test_unknown_dtype_falls_back_conservatively(self):
+        machine = DEFAULT_MACHINE
+        t = machine.time(_profile(OpClass.CHEAP, "int64", 1e9))
+        t64 = machine.time(_profile(OpClass.CHEAP, "float64", 1e9))
+        assert t > 0
+        assert t <= t64 * 1.01  # falls back to INT or slowest float rate
+
+
+class TestRoofline:
+    def test_memory_bound_when_traffic_dominates(self):
+        machine = DEFAULT_MACHINE
+        llc_plus = machine.cache_levels[-1].capacity_bytes + 1
+        heavy = _profile(OpClass.CHEAP, "float64", 10,
+                         bytes_total=1e9, footprint=llc_plus)
+        expected = 1e9 / machine.dram_bandwidth
+        assert machine.time(heavy) == pytest.approx(expected, rel=0.05)
+
+    def test_cache_residency_speeds_up_memory_bound(self):
+        machine = DEFAULT_MACHINE
+        llc = machine.cache_levels[-1].capacity_bytes
+        slow = _profile(OpClass.CHEAP, "float64", 10, bytes_total=1e9, footprint=llc + 1)
+        fast = _profile(OpClass.CHEAP, "float64", 10, bytes_total=5e8, footprint=llc // 2)
+        assert machine.time(slow) > machine.time(fast) * 2
+
+    def test_cast_and_gather_penalties(self):
+        machine = DEFAULT_MACHINE
+        base = Profile()
+        base.record_op(OpClass.CHEAP, "float64", 100)
+        with_casts = Profile()
+        with_casts.record_op(OpClass.CHEAP, "float64", 100, casts=1e9)
+        assert machine.time(with_casts) > machine.time(base)
+        with_gather = Profile()
+        with_gather.record_op(OpClass.CHEAP, "float64", 100)
+        with_gather.record_gather(1e9, 0)
+        assert machine.time(with_gather) > machine.time(base)
+
+    def test_call_overhead_charged(self):
+        machine = DEFAULT_MACHINE
+        many_calls = Profile()
+        for _ in range(1000):
+            many_calls.record_op(OpClass.CHEAP, "float64", 1)
+        few_calls = Profile()
+        few_calls.record_op(OpClass.CHEAP, "float64", 1000)
+        assert machine.time(many_calls) > machine.time(few_calls)
+
+    def test_empty_profile_costs_nothing(self):
+        assert DEFAULT_MACHINE.time(Profile()) == 0.0
+
+    def test_breakdown_components_sum_close_to_time(self):
+        machine = DEFAULT_MACHINE
+        profile = Profile()
+        profile.record_op(OpClass.CHEAP, "float64", 1e6, bytes_read=8e6)
+        profile.record_op(OpClass.TRANS, "float64", 1e5)
+        profile.record_gather(1e4, 8e4)
+        profile.record_cast(1e4)
+        breakdown = machine.breakdown(profile)
+        total = sum(v for k, v in breakdown.items() if k != "bandwidth")
+        assert total == pytest.approx(machine.time(profile), rel=0.01)
+
+    def test_custom_machine_is_usable(self):
+        machine = MachineModel(
+            name="tiny",
+            cache_levels=(CacheLevel(1024, 1e9),),
+            dram_bandwidth=1e8,
+        )
+        assert machine.bandwidth(512) == 1e9
+        assert machine.bandwidth(4096) == 1e8

@@ -1,0 +1,161 @@
+"""Unit tests for the verification library metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.metrics import (
+    available_metrics, get_metric, lower_is_better, mae, max_abs_error,
+    mcr, mre, mse, r_squared, register_metric, rmse,
+)
+
+
+class TestMae:
+    def test_identical_outputs(self):
+        x = np.linspace(0, 1, 10)
+        assert mae(x, x.copy()) == 0.0
+
+    def test_known_value(self):
+        assert mae([1.0, 2.0], [1.5, 2.5]) == pytest.approx(0.5)
+
+    def test_sign_symmetric(self):
+        ref = np.zeros(4)
+        assert mae(ref, ref + 0.1) == pytest.approx(mae(ref, ref - 0.1))
+
+    def test_nan_candidate_gives_nan(self):
+        assert math.isnan(mae([1.0, 2.0], [1.0, float("nan")]))
+
+    def test_inf_candidate_gives_nan(self):
+        assert math.isnan(mae([1.0], [float("inf")]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(VerificationError, match="shapes differ"):
+            mae([1.0, 2.0], [1.0])
+
+    def test_empty_outputs_raise(self):
+        with pytest.raises(VerificationError, match="empty"):
+            mae([], [])
+
+    def test_accepts_2d_inputs(self):
+        a = np.ones((3, 3))
+        assert mae(a, a + 1) == pytest.approx(1.0)
+
+
+class TestMseRmse:
+    def test_mse_known_value(self):
+        assert mse([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        ref = np.zeros(5)
+        cand = np.arange(5.0)
+        assert rmse(ref, cand) == pytest.approx(math.sqrt(mse(ref, cand)))
+
+    def test_rmse_penalises_outliers_more_than_mae(self):
+        ref = np.zeros(10)
+        spike = np.zeros(10)
+        spike[0] = 10.0
+        assert rmse(ref, spike) > mae(ref, spike)
+
+    def test_nan_propagates(self):
+        assert math.isnan(mse([1.0], [float("nan")]))
+        assert math.isnan(rmse([1.0], [float("nan")]))
+
+
+class TestR2:
+    def test_perfect_fit(self):
+        x = np.linspace(0, 1, 20)
+        assert r_squared(x, x.copy()) == pytest.approx(1.0)
+
+    def test_mean_predictor_scores_zero(self):
+        ref = np.array([1.0, 2.0, 3.0, 4.0])
+        cand = np.full(4, ref.mean())
+        assert r_squared(ref, cand) == pytest.approx(0.0)
+
+    def test_constant_reference(self):
+        ref = np.ones(4)
+        assert r_squared(ref, ref.copy()) == 1.0
+        assert r_squared(ref, ref + 1) == float("-inf")
+
+    def test_nan_candidate(self):
+        assert math.isnan(r_squared([1.0, 2.0], [1.0, float("nan")]))
+
+
+class TestMcr:
+    def test_all_match(self):
+        labels = np.array([0.0, 1.0, 2.0, 1.0])
+        assert mcr(labels, labels.copy()) == 0.0
+
+    def test_fraction_mismatched(self):
+        assert mcr([0, 1, 2, 3], [0, 1, 9, 9]) == pytest.approx(0.5)
+
+    def test_rounds_before_comparing(self):
+        assert mcr([1.0, 2.0], [1.0001, 1.9999]) == 0.0
+
+    def test_nan_candidate(self):
+        assert math.isnan(mcr([1.0], [float("nan")]))
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert set(available_metrics()) >= {"MAE", "MSE", "RMSE", "R2", "MCR"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_metric("mae") is mae
+        assert get_metric(" Rmse ") is rmse
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(VerificationError, match="unknown quality metric"):
+            get_metric("WAT")
+
+    def test_direction(self):
+        assert lower_is_better("MAE")
+        assert lower_is_better("MCR")
+        assert not lower_is_better("R2")
+        with pytest.raises(VerificationError):
+            lower_is_better("WAT")
+
+    def test_register_custom_metric(self):
+        def max_abs(ref, cand):
+            return float(np.max(np.abs(np.asarray(ref) - np.asarray(cand))))
+
+        register_metric("MAXABS", max_abs)
+        try:
+            assert get_metric("maxabs")([0.0, 0.0], [1.0, 3.0]) == 3.0
+            assert lower_is_better("MAXABS")
+        finally:
+            # keep the global registry clean for other tests
+            from repro.verify import metrics as metrics_module
+            metrics_module._METRICS.pop("MAXABS", None)
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            register_metric("  ", mae)
+
+
+class TestExtensionMetrics:
+    def test_linf_known_value(self):
+        assert max_abs_error([0.0, 0.0, 0.0], [0.1, -0.5, 0.2]) == pytest.approx(0.5)
+
+    def test_linf_dominates_mae(self):
+        ref = np.zeros(8)
+        cand = np.linspace(0, 1, 8)
+        assert max_abs_error(ref, cand) >= mae(ref, cand)
+
+    def test_linf_nan(self):
+        assert math.isnan(max_abs_error([1.0], [float("nan")]))
+
+    def test_mre_is_scale_free(self):
+        ref = np.array([1.0, 10.0, 100.0])
+        cand = ref * 1.01
+        assert mre(ref, cand) == pytest.approx(0.01, rel=1e-9)
+
+    def test_mre_nan(self):
+        assert math.isnan(mre([1.0], [float("inf")]))
+
+    def test_extension_metrics_registered(self):
+        assert get_metric("LINF") is max_abs_error
+        assert get_metric("mre") is mre
+        assert lower_is_better("LINF")
+        assert lower_is_better("MRE")

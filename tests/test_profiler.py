@@ -1,0 +1,107 @@
+"""Unit tests for repro.runtime.profiler."""
+
+from repro.runtime.profiler import OpClass, Profile, opclass_for_ufunc
+
+
+class TestOpClassMapping:
+    def test_cheap_ufuncs(self):
+        assert opclass_for_ufunc("add", "f") is OpClass.CHEAP
+        assert opclass_for_ufunc("multiply", "f") is OpClass.CHEAP
+        assert opclass_for_ufunc("maximum", "f") is OpClass.CHEAP
+
+    def test_medium_ufuncs(self):
+        assert opclass_for_ufunc("true_divide", "f") is OpClass.MEDIUM
+        assert opclass_for_ufunc("sqrt", "f") is OpClass.MEDIUM
+
+    def test_trans_ufuncs(self):
+        assert opclass_for_ufunc("exp", "f") is OpClass.TRANS
+        assert opclass_for_ufunc("log", "f") is OpClass.TRANS
+        assert opclass_for_ufunc("power", "f") is OpClass.TRANS
+
+    def test_integer_kind_forces_int_class(self):
+        assert opclass_for_ufunc("add", "i") is OpClass.INT
+        assert opclass_for_ufunc("exp", "u") is OpClass.INT
+        assert opclass_for_ufunc("add", "b") is OpClass.INT
+
+    def test_unknown_ufunc_defaults_cheap(self):
+        assert opclass_for_ufunc("mystery_op", "f") is OpClass.CHEAP
+
+
+class TestProfile:
+    def test_record_op_accumulates(self):
+        profile = Profile()
+        profile.record_op(OpClass.CHEAP, "float64", 100, bytes_read=800, bytes_written=80)
+        profile.record_op(OpClass.CHEAP, "float64", 50)
+        assert profile.ops[(OpClass.CHEAP, "float64")] == 150
+        assert profile.bytes_read == 800
+        assert profile.bytes_written == 80
+        assert profile.ufunc_calls == 2
+
+    def test_separate_buckets_per_dtype(self):
+        profile = Profile()
+        profile.record_op(OpClass.CHEAP, "float64", 10)
+        profile.record_op(OpClass.CHEAP, "float32", 20)
+        assert profile.ops[(OpClass.CHEAP, "float64")] == 10
+        assert profile.ops[(OpClass.CHEAP, "float32")] == 20
+
+    def test_casts_recorded(self):
+        profile = Profile()
+        profile.record_op(OpClass.CHEAP, "float64", 10, casts=10)
+        profile.record_cast(5)
+        assert profile.cast_elements == 15
+
+    def test_gather_recorded(self):
+        profile = Profile()
+        profile.record_gather(100, 800)
+        assert profile.gather_elements == 100
+        assert profile.bytes_read == 800
+        assert profile.ufunc_calls == 1
+
+    def test_io_recorded(self):
+        profile = Profile()
+        profile.record_io(4096)
+        assert profile.io_bytes == 4096
+
+    def test_footprint_tracks_peak(self):
+        profile = Profile()
+        profile.track_alloc(100)
+        profile.track_alloc(200)
+        profile.track_free(100)
+        profile.track_alloc(50)
+        assert profile.peak_footprint == 300
+
+    def test_footprint_never_negative(self):
+        profile = Profile()
+        profile.track_free(100)
+        profile.track_alloc(10)
+        assert profile.peak_footprint == 10
+
+    def test_merge(self):
+        a, b = Profile(), Profile()
+        a.record_op(OpClass.CHEAP, "float64", 10, bytes_read=80)
+        b.record_op(OpClass.CHEAP, "float64", 5, bytes_written=40)
+        b.record_op(OpClass.TRANS, "float32", 7)
+        b.record_gather(3, 12)
+        b.track_alloc(999)
+        a.merge(b)
+        assert a.ops[(OpClass.CHEAP, "float64")] == 15
+        assert a.ops[(OpClass.TRANS, "float32")] == 7
+        assert a.bytes_read == 92
+        assert a.bytes_written == 40
+        assert a.gather_elements == 3
+        assert a.peak_footprint == 999
+
+    def test_total_flops_excludes_int(self):
+        profile = Profile()
+        profile.record_op(OpClass.CHEAP, "float64", 10)
+        profile.record_op(OpClass.INT, "int32", 1000)
+        assert profile.total_flops() == 10
+
+    def test_summary_is_json_friendly(self):
+        import json
+        profile = Profile()
+        profile.record_op(OpClass.MEDIUM, "float32", 4, bytes_read=16)
+        summary = profile.summary()
+        json.dumps(summary)
+        assert summary["ops"] == {"medium/float32": 4}
+        assert summary["bytes_read"] == 16

@@ -1,0 +1,85 @@
+"""Property-based tests on verification-metric invariants (hypothesis)."""
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.verify.metrics import mae, mcr, mse, r_squared, rmse
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+vectors = arrays(np.float64, st.integers(1, 64), elements=finite)
+
+
+@st.composite
+def vector_pairs(draw):
+    ref = draw(vectors)
+    cand = draw(arrays(np.float64, ref.shape, elements=finite))
+    return ref, cand
+
+
+@given(vectors)
+def test_identity_has_zero_error(x):
+    assert mae(x, x.copy()) == 0.0
+    assert mse(x, x.copy()) == 0.0
+    assert rmse(x, x.copy()) == 0.0
+    assert mcr(x, x.copy()) == 0.0
+
+
+@given(vector_pairs())
+def test_errors_are_nonnegative(pair):
+    ref, cand = pair
+    assert mae(ref, cand) >= 0.0
+    assert mse(ref, cand) >= 0.0
+    assert rmse(ref, cand) >= 0.0
+    assert 0.0 <= mcr(ref, cand) <= 1.0
+
+
+@given(vector_pairs())
+def test_rmse_dominates_mae(pair):
+    """RMSE >= MAE always (Cauchy–Schwarz) — 'penalises large errors'."""
+    ref, cand = pair
+    assert rmse(ref, cand) >= mae(ref, cand) * (1.0 - 1e-12) - 1e-150  # subnormal squares underflow
+
+
+@given(vector_pairs())
+def test_mae_symmetry(pair):
+    ref, cand = pair
+    assert mae(ref, cand) == mae(cand, ref)
+
+
+@given(vector_pairs(), finite)
+@settings(max_examples=50)
+def test_mae_translation_invariance(pair, shift):
+    ref, cand = pair
+    shifted = mae(ref + shift, cand + shift)
+    assert math.isclose(shifted, mae(ref, cand), rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(vectors, st.floats(min_value=0.1, max_value=1e3))
+def test_mae_scales_linearly(ref, scale):
+    cand = ref + 1.0
+    assert math.isclose(
+        mae(ref * scale, cand * scale), scale * mae(ref, cand),
+        rel_tol=1e-9, abs_tol=1e-12,
+    )
+
+
+@given(vector_pairs())
+@settings(max_examples=50)
+def test_r_squared_upper_bound(pair):
+    ref, cand = pair
+    value = r_squared(ref, cand)
+    assert value <= 1.0 or math.isnan(value)
+
+
+@given(vectors)
+def test_nan_poisoning(x):
+    poisoned = x.copy()
+    poisoned[0] = np.nan
+    assert math.isnan(mae(x, poisoned))
+    assert math.isnan(mse(x, poisoned))
+    assert math.isnan(mcr(x, poisoned))
+    assert math.isnan(r_squared(x, poisoned))

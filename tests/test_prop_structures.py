@@ -1,0 +1,158 @@
+"""Property-based tests on core structures: union-find, search spaces,
+delta debugging, and the MPArray/NumPy equivalence."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from helpers import ToyProgram
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.types import Precision
+from repro.runtime.mparray import MPArray
+from repro.runtime.profiler import Profile
+from repro.search.delta_debug import DeltaDebugSearch
+from repro.typeforge.dependence import UnionFind
+
+# ---------------------------------------------------------------------------
+# Union-find
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40))
+def test_unionfind_groups_partition(pairs):
+    uf = UnionFind()
+    for a, b in pairs:
+        uf.union(a, b)
+    groups = uf.groups()
+    seen = [item for members in groups.values() for item in members]
+    assert len(seen) == len(set(seen))  # disjoint
+    for rep, members in groups.items():
+        assert rep in members
+        for item in members:
+            assert uf.find(item) == rep
+
+
+@given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=30))
+def test_unionfind_transitivity(pairs):
+    uf = UnionFind()
+    for a, b in pairs:
+        uf.union(a, b)
+    for a, b in pairs:
+        assert uf.find(a) == uf.find(b)
+
+
+# ---------------------------------------------------------------------------
+# Search spaces
+
+
+@given(
+    n_clusters=st.integers(1, 8),
+    members=st.integers(1, 3),
+    subset_seed=st.integers(0, 2**16),
+)
+def test_cluster_configs_always_compile(n_clusters, members, subset_seed):
+    program = ToyProgram(n_clusters=n_clusters, members_per_cluster=members)
+    space = program.search_space()
+    rng = np.random.default_rng(subset_seed)
+    chosen = [loc for loc in space.locations() if rng.random() < 0.5]
+    if not chosen:
+        return
+    config = space.lower(chosen)
+    assert space.is_compilable(config)
+    assert space.lowered_location_set(config) == frozenset(chosen)
+
+
+@given(n_clusters=st.integers(1, 6), members=st.integers(2, 3))
+def test_partial_cluster_configs_never_compile(n_clusters, members):
+    program = ToyProgram(n_clusters=n_clusters, members_per_cluster=members)
+    space = program.search_space()
+    cluster = space.clusters[0]
+    first_member = sorted(cluster.members)[0]
+    from repro.core.types import PrecisionConfig
+    config = PrecisionConfig({first_member: Precision.SINGLE})
+    assert not space.is_compilable(config)
+    assert cluster.cid in space.violated_clusters(config)
+
+
+# ---------------------------------------------------------------------------
+# Delta debugging invariants
+
+
+@given(
+    n_clusters=st.integers(1, 10),
+    toxic_mask=st.integers(0, 2**10 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_delta_debugging_finds_exact_complement(n_clusters, toxic_mask):
+    """On a monotone failure model DD must lower exactly the non-toxic
+    clusters: the result passes and is maximal."""
+    toxic = tuple(i for i in range(n_clusters) if toxic_mask & (1 << i))
+    program = ToyProgram(n_clusters=n_clusters, toxic=toxic)
+    evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+    outcome = DeltaDebugSearch().run(evaluator)
+    space = program.search_space()
+    expected = frozenset(
+        space.clusters[i].cid for i in range(n_clusters) if i not in toxic
+    )
+    if not expected:
+        assert not outcome.found_solution
+        return
+    assert outcome.found_solution
+    assert space.lowered_location_set(outcome.final.config) == expected
+
+
+# ---------------------------------------------------------------------------
+# MPArray equivalence with plain NumPy
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+small_arrays = arrays(np.float64, st.integers(1, 32), elements=finite)
+
+
+@given(small_arrays, small_arrays)
+@settings(max_examples=60)
+def test_mparray_arithmetic_matches_numpy(a, b):
+    n = min(a.size, b.size)
+    a, b = a[:n], b[:n]
+    profile = Profile()
+    wa, wb = MPArray(a.copy(), profile), MPArray(b.copy(), profile)
+    np.testing.assert_array_equal((wa + wb).data, a + b)
+    np.testing.assert_array_equal((wa * wb).data, a * b)
+    np.testing.assert_array_equal((wa - wb).data, a - b)
+    np.testing.assert_array_equal(np.maximum(wa, wb).data, np.maximum(a, b))
+
+
+@given(small_arrays)
+@settings(max_examples=60)
+def test_mparray_reductions_match_numpy(a):
+    profile = Profile()
+    wrapped = MPArray(a.copy(), profile)
+    assert float(wrapped.sum()) == float(a.sum())
+    assert float(np.min(wrapped)) == float(a.min())
+    assert int(np.argmax(wrapped)) == int(a.argmax())
+
+
+@given(small_arrays, st.integers(0, 31))
+@settings(max_examples=60)
+def test_mparray_indexing_matches_numpy(a, index):
+    index = index % a.size
+    profile = Profile()
+    wrapped = MPArray(a.copy(), profile)
+    assert wrapped[index] == a[index]
+    np.testing.assert_array_equal(wrapped[: index + 1].data, a[: index + 1])
+
+
+@given(small_arrays)
+@settings(max_examples=40)
+def test_mparray_profile_only_grows(a):
+    profile = Profile()
+    wrapped = MPArray(a.copy(), profile)
+    checkpoints = []
+    wrapped = wrapped + 1.0
+    checkpoints.append(sum(profile.ops.values()))
+    wrapped = wrapped * 2.0
+    checkpoints.append(sum(profile.ops.values()))
+    _ = wrapped.sum()
+    checkpoints.append(sum(profile.ops.values()))
+    assert checkpoints == sorted(checkpoints)
+    assert checkpoints[0] > 0

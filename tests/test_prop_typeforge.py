@@ -1,0 +1,124 @@
+"""Property-based fuzzing of the Typeforge analysis.
+
+Random MPB-style programs are generated (declarations, helper calls,
+aliasing, swaps) and the analysis must uphold its structural
+invariants on all of them: the clusters partition the variables, TV
+and TC relate sanely, the name map is injective, the analysis is
+deterministic, and `explain` agrees with the partition.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.typeforge import analyze_sources
+
+names = st.sampled_from([f"v{i}" for i in range(8)])
+
+
+@st.composite
+def mpb_programs(draw) -> str:
+    """A random single-module MPB program.
+
+    Structure: up to three helpers, each taking one array parameter,
+    and one entry ``kernel`` declaring arrays/scalars and then applying
+    random statements (helper calls, swaps, slice aliases).
+    """
+    n_helpers = draw(st.integers(0, 3))
+    helpers = []
+    for h in range(n_helpers):
+        helpers.append(
+            f"def helper{h}(ws, p{h}):\n"
+            f"    p{h}[0] = p{h}[0] * 0.5\n"
+        )
+
+    n_arrays = draw(st.integers(1, 5))
+    n_scalars = draw(st.integers(0, 3))
+    body = []
+    array_names = [f"a{i}" for i in range(n_arrays)]
+    for name in array_names:
+        body.append(f"    {name} = ws.array('{name}', 8)")
+    for i in range(n_scalars):
+        body.append(f"    s{i} = ws.scalar('s{i}', 0.5)")
+
+    n_statements = draw(st.integers(0, 6))
+    for _ in range(n_statements):
+        kind = draw(st.sampled_from(["call", "swap", "slice"]))
+        if kind == "call" and n_helpers:
+            helper = draw(st.integers(0, n_helpers - 1))
+            target = draw(st.sampled_from(array_names))
+            body.append(f"    helper{helper}(ws, {target})")
+        elif kind == "swap" and n_arrays >= 2:
+            first = draw(st.sampled_from(array_names))
+            second = draw(st.sampled_from(array_names))
+            if first != second:
+                body.append(f"    {first}, {second} = {second}, {first}")
+        elif kind == "slice":
+            source = draw(st.sampled_from(array_names))
+            body.append(f"    tmp = {source}[1:4]")
+
+    body.append(f"    return {array_names[0]}")
+    return "".join(helpers) + "def kernel(ws, n):\n" + "\n".join(body) + "\n"
+
+
+@given(mpb_programs())
+@settings(max_examples=120, deadline=None)
+def test_clusters_partition_variables(src):
+    report = analyze_sources({"fuzz": src}, entry="kernel")
+    seen = []
+    for cluster in report.clusters:
+        seen.extend(cluster.members)
+    assert len(seen) == len(set(seen))  # disjoint
+    assert set(seen) == {v.uid for v in report.variables}  # covering
+
+
+@given(mpb_programs())
+@settings(max_examples=80, deadline=None)
+def test_tv_tc_relation(src):
+    report = analyze_sources({"fuzz": src}, entry="kernel")
+    assert 1 <= report.total_clusters <= report.total_variables
+
+
+@given(mpb_programs())
+@settings(max_examples=80, deadline=None)
+def test_name_map_is_injective_into_variables(src):
+    report = analyze_sources({"fuzz": src}, entry="kernel")
+    uids = {v.uid for v in report.variables}
+    values = list(report.name_map.values())
+    assert len(values) == len(set(values))
+    assert set(values) <= uids
+
+
+@given(mpb_programs())
+@settings(max_examples=60, deadline=None)
+def test_analysis_is_deterministic(src):
+    first = analyze_sources({"fuzz": src}, entry="kernel")
+    second = analyze_sources({"fuzz": src}, entry="kernel")
+    assert first.variables == second.variables
+    assert first.clusters == second.clusters
+    assert first.name_map == second.name_map
+
+
+@given(mpb_programs())
+@settings(max_examples=40, deadline=None)
+def test_explain_agrees_with_partition(src):
+    report = analyze_sources({"fuzz": src}, entry="kernel")
+    variables = [v.uid for v in report.variables][:5]
+    for first in variables:
+        for second in variables:
+            chain = report.explain(first, second)
+            same_cluster = any(
+                first in c and second in c for c in report.clusters
+            )
+            assert (chain is not None) == same_cluster
+
+
+@given(mpb_programs())
+@settings(max_examples=40, deadline=None)
+def test_search_space_is_constructible(src):
+    """Every fuzzed analysis yields a valid, usable search space."""
+    report = analyze_sources({"fuzz": src}, entry="kernel")
+    space = report.search_space()
+    assert space.size() >= 2
+    locations = space.locations()
+    config = space.lower(list(locations))
+    assert space.is_compilable(config)

@@ -1,0 +1,76 @@
+"""Property-based tests for PrecisionConfig (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.types import Precision, PrecisionConfig
+
+locations = st.text(
+    alphabet="abcdefgh.", min_size=1, max_size=12,
+).filter(lambda s: s.strip())
+precisions = st.sampled_from(list(Precision))
+assignments = st.dictionaries(locations, precisions, max_size=8)
+
+
+@given(assignments)
+def test_json_roundtrip_is_identity(mapping):
+    config = PrecisionConfig(mapping)
+    assert PrecisionConfig.from_json_dict(config.to_json_dict()) == config
+
+
+@given(assignments)
+def test_equal_configs_have_equal_hash_and_digest(mapping):
+    a = PrecisionConfig(mapping)
+    b = PrecisionConfig(dict(mapping))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a.digest() == b.digest()
+
+
+@given(assignments)
+def test_double_assignments_are_invisible(mapping):
+    config = PrecisionConfig(mapping)
+    explicit = {loc for loc, prec in mapping.items() if prec is not Precision.DOUBLE}
+    assert set(config) == explicit
+
+
+@given(assignments, locations, precisions)
+def test_assign_then_lookup(mapping, location, precision):
+    config = PrecisionConfig(mapping).assign(location, precision)
+    assert config.precision_of(location) is precision
+
+
+@given(assignments, locations)
+def test_without_reverts_to_default(mapping, location):
+    config = PrecisionConfig(mapping).without(location)
+    assert config.precision_of(location) is Precision.DOUBLE
+
+
+@given(assignments, assignments)
+def test_merge_respects_right_operand(left, right):
+    # Assignments equal to the default are canonically dropped, so only
+    # non-default entries are observable after a merge.
+    merged = PrecisionConfig(left).merge(PrecisionConfig(right))
+    effective_right = {
+        loc: prec for loc, prec in right.items() if prec is not Precision.DOUBLE
+    }
+    for loc, prec in effective_right.items():
+        assert merged.precision_of(loc) is prec
+    for loc, prec in left.items():
+        if loc not in effective_right:
+            assert merged.precision_of(loc) is prec
+
+
+@given(assignments)
+@settings(max_examples=50)
+def test_lowered_locations_are_below_double(mapping):
+    config = PrecisionConfig(mapping)
+    for loc in config.lowered_locations():
+        assert config.precision_of(loc) < Precision.DOUBLE
+
+
+@given(assignments)
+def test_baseline_iff_no_non_default(mapping):
+    config = PrecisionConfig(mapping)
+    expected = all(p is Precision.DOUBLE for p in mapping.values())
+    assert config.is_baseline() == expected

@@ -1,0 +1,57 @@
+"""Unit tests for QualitySpec / QualityResult."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.quality import QualitySpec
+
+
+class TestQualitySpec:
+    def test_error_metric_passes_below_threshold(self):
+        spec = QualitySpec("MAE", 0.5)
+        result = spec.check([1.0, 1.0], [1.1, 1.1])
+        assert result.passed
+        assert result.value == pytest.approx(0.1)
+        assert result.metric == "MAE"
+
+    def test_error_metric_fails_above_threshold(self):
+        spec = QualitySpec("MAE", 0.05)
+        assert not spec.check([1.0], [1.1]).passed
+
+    def test_boundary_passes(self):
+        spec = QualitySpec("MAE", 0.1)
+        assert spec.check([0.0], [0.1]).passed
+
+    def test_higher_is_better_direction(self):
+        spec = QualitySpec("R2", 0.9)
+        good = np.linspace(0, 1, 10)
+        assert spec.check(good, good).passed
+        noisy = good + np.linspace(-1, 1, 10)
+        assert not spec.check(good, noisy).passed
+
+    def test_nan_never_passes(self):
+        spec = QualitySpec("MAE", 1e6)
+        assert not spec.check([1.0], [float("nan")]).passed
+
+    def test_invalid_metric_rejected_eagerly(self):
+        with pytest.raises(VerificationError):
+            QualitySpec("NOPE", 1e-3)
+
+    def test_with_threshold(self):
+        spec = QualitySpec("MAE", 1e-3)
+        stricter = spec.with_threshold(1e-8)
+        assert stricter.metric == "MAE"
+        assert stricter.threshold == 1e-8
+        assert spec.threshold == 1e-3  # original untouched
+
+    def test_measure_returns_raw_value(self):
+        assert QualitySpec("MAE", 1.0).measure([0.0], [2.0]) == 2.0
+
+    def test_result_str(self):
+        result = QualitySpec("MAE", 1e-3).check([0.0], [1.0])
+        assert "FAIL" in str(result)
+        assert "MAE" in str(result)
+
+    def test_spec_is_hashable(self):
+        assert len({QualitySpec("MAE", 1e-3), QualitySpec("MAE", 1e-3)}) == 1

@@ -1,0 +1,64 @@
+"""Tests for table/CSV rendering."""
+
+import csv
+import math
+
+from repro.harness.reporting import (
+    format_quality, format_speedup, format_table, write_csv,
+)
+
+
+class TestFormatQuality:
+    def test_nan_renders_as_nan(self):
+        assert format_quality(float("nan")) == "NaN"
+        assert format_quality(None) == "NaN"
+
+    def test_zero(self):
+        assert format_quality(0.0) == "0"
+
+    def test_power_of_ten_collapses(self):
+        assert format_quality(1e-6) == "10^-6"
+        assert format_quality(1.02e-9) == "10^-9"
+
+    def test_general_mantissa(self):
+        assert format_quality(3.44e-6) == "3.44e-6"
+        assert format_quality(2.5e-10) == "2.50e-10"
+
+    def test_negative_values(self):
+        assert format_quality(-3.44e-6) == "-3.44e-6"
+
+
+class TestFormatSpeedup:
+    def test_regular(self):
+        assert format_speedup(1.678) == "1.68"
+
+    def test_nan_is_dash(self):
+        assert format_speedup(float("nan")) == "-"
+        assert format_speedup(None) == "-"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [["xx", "y"], ["x", "yyyy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_title_underlined(self):
+        text = format_table(["h"], [["v"]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_non_string_cells(self):
+        text = format_table(["n", "x"], [[1, 2.5]])
+        assert "1" in text and "2.5" in text
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "t.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]

@@ -1,0 +1,92 @@
+"""Unit tests for trial records, search outcomes and JSON interchange."""
+
+import math
+
+import pytest
+
+from repro.core.results import EvaluationStatus, SearchOutcome, TrialRecord
+from repro.core.types import Precision, PrecisionConfig
+
+
+def _trial(index=1, status=EvaluationStatus.PASSED, speedup=1.5, error=1e-9):
+    return TrialRecord(
+        index=index,
+        config=PrecisionConfig({"f.x": Precision.SINGLE}),
+        status=status,
+        error_value=error,
+        speedup=speedup,
+        modeled_seconds=0.01,
+        analysis_seconds=60.0,
+    )
+
+
+class TestTrialRecord:
+    def test_passed_property(self):
+        assert _trial().passed
+        assert not _trial(status=EvaluationStatus.FAILED_QUALITY).passed
+        assert not _trial(status=EvaluationStatus.COMPILE_ERROR).passed
+
+    def test_json_roundtrip(self):
+        trial = _trial()
+        back = TrialRecord.from_json_dict(trial.to_json_dict())
+        assert back == trial
+
+    def test_json_roundtrip_with_nan(self):
+        trial = _trial(status=EvaluationStatus.RUNTIME_ERROR,
+                       speedup=float("nan"), error=float("nan"))
+        payload = trial.to_json_dict()
+        import json
+        json.dumps(payload)  # NaN encoded as string, still valid JSON
+        back = TrialRecord.from_json_dict(payload)
+        assert math.isnan(back.speedup)
+        assert math.isnan(back.error_value)
+
+    def test_default_floats_are_nan(self):
+        trial = TrialRecord(1, PrecisionConfig(), EvaluationStatus.COMPILE_ERROR)
+        assert math.isnan(trial.speedup)
+        assert math.isnan(trial.error_value)
+
+
+class TestSearchOutcome:
+    def _outcome(self, final=None, timed_out=False):
+        return SearchOutcome(
+            strategy="delta-debugging",
+            program="toy",
+            threshold=1e-6,
+            final=final,
+            evaluations=7,
+            analysis_seconds=3600.0,
+            timed_out=timed_out,
+            trials=[_trial()],
+        )
+
+    def test_found_solution(self):
+        assert self._outcome(final=_trial()).found_solution
+        assert not self._outcome(final=None).found_solution
+        failed = _trial(status=EvaluationStatus.FAILED_QUALITY)
+        assert not self._outcome(final=failed).found_solution
+
+    def test_speedup_and_error_accessors(self):
+        outcome = self._outcome(final=_trial(speedup=2.0, error=5e-10))
+        assert outcome.speedup == 2.0
+        assert outcome.error_value == 5e-10
+        empty = self._outcome()
+        assert math.isnan(empty.speedup)
+        assert math.isnan(empty.error_value)
+
+    def test_json_roundtrip(self):
+        outcome = self._outcome(final=_trial())
+        back = SearchOutcome.from_json_dict(outcome.to_json_dict())
+        assert back.strategy == outcome.strategy
+        assert back.final == outcome.final
+        assert back.trials == outcome.trials
+        assert back.evaluations == 7
+
+    def test_save_load(self, tmp_path):
+        outcome = self._outcome(final=_trial(), timed_out=True)
+        path = tmp_path / "sub" / "outcome.json"
+        outcome.save(path)
+        loaded = SearchOutcome.load(path)
+        assert loaded.timed_out
+        assert loaded.program == "toy"
+        assert loaded.found_solution

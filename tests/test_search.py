@@ -1,0 +1,281 @@
+"""Unit tests for the six search strategies on the synthetic program."""
+
+import pytest
+
+from helpers import ToyProgram
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.results import EvaluationStatus
+from repro.core.types import Precision
+from repro.core.variables import Granularity
+from repro.search import (
+    CombinationalSearch,
+    CompositionalSearch,
+    DeltaDebugSearch,
+    GeneticSearch,
+    HierarchicalCompositionalSearch,
+    HierarchicalSearch,
+    build_hierarchy,
+    make_strategy,
+)
+from repro.search.registry import ALGORITHM_ORDER, canonical_name
+
+
+def run_search(strategy, program=None, **eval_kwargs):
+    program = program if program is not None else ToyProgram(n_clusters=4, toxic=(0,))
+    evaluator = ConfigurationEvaluator(program, measurement_noise=0.0, **eval_kwargs)
+    return strategy.run(evaluator), program
+
+
+def lowered(outcome, program):
+    space = program.search_space()
+    return space.lowered_location_set(outcome.final.config)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("abbr", ALGORITHM_ORDER)
+    def test_all_abbreviations_resolve(self, abbr):
+        strategy = make_strategy(abbr)
+        assert strategy.strategy_name
+
+    def test_full_names_resolve(self):
+        assert make_strategy("delta-debugging").strategy_name == "delta-debugging"
+        assert make_strategy("ddebug").strategy_name == "delta-debugging"
+        assert make_strategy("genetic").strategy_name == "genetic"
+
+    def test_canonical_name(self):
+        assert canonical_name("ddebug") == "DD"
+        assert canonical_name("hierarchical") == "HR"
+
+    def test_unknown_raises(self):
+        from repro.errors import MixPBenchError
+        with pytest.raises(MixPBenchError, match="unknown search strategy"):
+            make_strategy("simulated-annealing")
+
+    def test_granularities_match_paper(self):
+        assert make_strategy("CB").granularity is Granularity.CLUSTER
+        assert make_strategy("CM").granularity is Granularity.CLUSTER
+        assert make_strategy("DD").granularity is Granularity.CLUSTER
+        assert make_strategy("GA").granularity is Granularity.CLUSTER
+        assert make_strategy("HR").granularity is Granularity.VARIABLE
+        assert make_strategy("HC").granularity is Granularity.VARIABLE
+
+
+class TestCombinational:
+    def test_finds_global_optimum(self):
+        outcome, program = run_search(CombinationalSearch())
+        assert outcome.found_solution
+        # optimum: all three non-toxic clusters lowered
+        assert len(lowered(outcome, program)) == 3
+
+    def test_exhaustive_evaluation_count(self):
+        outcome, _ = run_search(CombinationalSearch())
+        assert outcome.evaluations == 2 ** 4 - 1
+
+    def test_refuses_intractable_spaces(self):
+        program = ToyProgram(n_clusters=30)
+        evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+        with pytest.raises(ValueError, match="intractable"):
+            CombinationalSearch(max_locations=24)._search(evaluator)
+
+    def test_single_cluster_space(self):
+        outcome, program = run_search(
+            CombinationalSearch(), ToyProgram(n_clusters=1),
+        )
+        assert outcome.evaluations == 1
+        assert outcome.found_solution
+
+    def test_nothing_passes(self):
+        outcome, _ = run_search(
+            CombinationalSearch(), ToyProgram(n_clusters=2, toxic=(0, 1)),
+        )
+        assert not outcome.found_solution
+
+
+class TestCompositional:
+    def test_individual_then_union(self):
+        outcome, program = run_search(CompositionalSearch())
+        assert outcome.found_solution
+        assert len(lowered(outcome, program)) == 3
+        # 4 individuals + 1 maximal union
+        assert outcome.evaluations == 5
+
+    def test_union_shortcut_terminates_early(self):
+        outcome, _ = run_search(CompositionalSearch(), ToyProgram(n_clusters=6))
+        assert outcome.evaluations == 7  # 6 singles + passing union
+
+    def test_pairwise_fallback_when_union_fails(self):
+        # interaction: the union includes toxic? toxic clusters fail alone,
+        # so the union of passing members passes here; craft a program
+        # where two specific clusters only fail together is out of the toy
+        # model's scope — instead verify pairwise stage on partial failure.
+        program = ToyProgram(n_clusters=3, toxic=(0, 1))
+        outcome, _ = run_search(CompositionalSearch(), program)
+        assert outcome.found_solution
+        assert outcome.evaluations == 3  # only one passing single, no unions
+
+
+class TestDeltaDebugging:
+    def test_all_single_shortcut(self):
+        outcome, program = run_search(DeltaDebugSearch(), ToyProgram(n_clusters=5))
+        assert outcome.found_solution
+        assert outcome.evaluations == 1  # initial criterion succeeds
+        assert len(lowered(outcome, program)) == 5
+
+    def test_excludes_toxic_cluster(self):
+        outcome, program = run_search(DeltaDebugSearch())
+        assert outcome.found_solution
+        low = lowered(outcome, program)
+        toxic_cid = program.search_space().clusters[0].cid
+        assert toxic_cid not in low
+        assert len(low) == 3
+
+    def test_multiple_toxic_clusters(self):
+        program = ToyProgram(n_clusters=8, toxic=(1, 5))
+        outcome, program = run_search(DeltaDebugSearch(), program)
+        assert outcome.found_solution
+        low = lowered(outcome, program)
+        assert len(low) == 6
+        space = program.search_space()
+        assert space.clusters[1].cid not in low
+        assert space.clusters[5].cid not in low
+
+    def test_everything_toxic_finds_nothing(self):
+        program = ToyProgram(n_clusters=3, toxic=(0, 1, 2))
+        outcome, _ = run_search(DeltaDebugSearch(), program)
+        assert not outcome.found_solution
+
+    def test_stricter_search_costs_more(self):
+        cheap_program = ToyProgram(n_clusters=12)
+        cheap, _ = run_search(DeltaDebugSearch(), cheap_program)
+        hard_program = ToyProgram(n_clusters=12, toxic=(2, 7, 11))
+        hard, _ = run_search(DeltaDebugSearch(), hard_program)
+        assert hard.evaluations > cheap.evaluations
+
+
+class TestHierarchical:
+    def test_wholesale_conversion_when_everything_passes(self):
+        program = ToyProgram(n_clusters=4, functions=("f", "g"))
+        outcome, program = run_search(HierarchicalSearch(), program)
+        assert outcome.found_solution
+        assert outcome.evaluations == 1  # root passes immediately
+
+    def test_descends_on_failure(self):
+        program = ToyProgram(n_clusters=4, toxic=(0,), functions=("f", "g"))
+        outcome, program = run_search(HierarchicalSearch(), program)
+        assert outcome.found_solution
+        assert outcome.evaluations > 1
+        low = outcome.final.config.lowered_locations()
+        toxic_uid = next(iter(program.search_space().clusters[0].members))
+        assert toxic_uid not in low
+
+    def test_splitting_clusters_wastes_evaluations(self):
+        program = ToyProgram(n_clusters=2, members_per_cluster=3, toxic=(0,))
+        outcome, _ = run_search(HierarchicalSearch(), program)
+        statuses = [t.status for t in outcome.trials]
+        assert EvaluationStatus.COMPILE_ERROR in statuses
+
+    def test_nothing_convertible(self):
+        program = ToyProgram(n_clusters=2, toxic=(0, 1))
+        outcome, _ = run_search(HierarchicalSearch(), program)
+        assert not outcome.found_solution
+
+
+class TestHierarchicalCompositional:
+    def test_combines_components(self):
+        program = ToyProgram(n_clusters=4, toxic=(0,), functions=("f", "g"))
+        outcome, program = run_search(HierarchicalCompositionalSearch(), program)
+        assert outcome.found_solution
+        assert len(outcome.final.config.lowered_locations()) == 3
+
+    def test_root_pass_short_circuits(self):
+        program = ToyProgram(n_clusters=4, functions=("f", "g"))
+        outcome, _ = run_search(HierarchicalCompositionalSearch(), program)
+        assert outcome.evaluations == 1
+
+    def test_compile_errors_at_variable_granularity(self):
+        program = ToyProgram(n_clusters=2, members_per_cluster=2, toxic=(0,),
+                             functions=("f", "g"))
+        outcome, _ = run_search(HierarchicalCompositionalSearch(), program)
+        statuses = [t.status for t in outcome.trials]
+        assert EvaluationStatus.COMPILE_ERROR in statuses
+
+
+class TestGenetic:
+    def test_finds_a_solution(self):
+        outcome, program = run_search(GeneticSearch(seed=3))
+        assert outcome.found_solution
+        toxic_cid = program.search_space().clusters[0].cid
+        assert toxic_cid not in lowered(outcome, program)
+
+    def test_deterministic_for_fixed_seed(self):
+        a, _ = run_search(GeneticSearch(seed=11))
+        b, _ = run_search(GeneticSearch(seed=11))
+        assert a.final.config == b.final.config
+        assert a.evaluations == b.evaluations
+
+    def test_bounded_evaluations(self):
+        program = ToyProgram(n_clusters=20)
+        outcome, _ = run_search(GeneticSearch(), program)
+        cap = GeneticSearch().population_size * (GeneticSearch().max_generations + 1)
+        assert outcome.evaluations <= cap
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            GeneticSearch(population_size=1)
+
+    def test_describe_records_parameters(self):
+        info = GeneticSearch(population_size=9, seed=5).describe()
+        assert info["population_size"] == 9
+        assert info["seed"] == 5
+        assert info["granularity"] == "cluster"
+
+
+class TestOutcomeBookkeeping:
+    def test_outcome_identity_fields(self):
+        outcome, _ = run_search(DeltaDebugSearch())
+        assert outcome.strategy == "delta-debugging"
+        assert outcome.program == "toy"
+        assert outcome.threshold == 1e-6
+        assert not outcome.timed_out
+        assert outcome.trials
+
+    def test_timeout_reported(self):
+        program = ToyProgram(n_clusters=12, toxic=(0, 5, 9))
+        evaluator = ConfigurationEvaluator(
+            program, time_limit_seconds=400.0, measurement_noise=0.0,
+        )
+        outcome = DeltaDebugSearch().run(evaluator)
+        assert outcome.timed_out
+        assert outcome.final is None
+
+    def test_final_config_resolves_to_trial(self):
+        outcome, program = run_search(CombinationalSearch())
+        matching = [t for t in outcome.trials if t.config == outcome.final.config]
+        assert matching
+
+
+class TestHierarchyTree:
+    def test_single_function_collapses(self):
+        from helpers import make_space
+        space = make_space(4, functions=("main",)).at(Granularity.VARIABLE)
+        root = build_hierarchy(space)
+        assert len(root.variables) == 4
+        # module level collapsed; children are function/variable nodes
+        labels = [child.label for child in root.children]
+        assert any("variable:" in lbl or "function:" in lbl for lbl in labels)
+
+    def test_multi_function_structure(self):
+        from helpers import make_space
+        space = make_space(4, functions=("f", "g")).at(Granularity.VARIABLE)
+        root = build_hierarchy(space)
+        assert {len(child.variables) for child in root.children} == {2}
+
+    def test_walk_visits_all_nodes(self):
+        from helpers import make_space
+        space = make_space(3, functions=("f", "g")).at(Granularity.VARIABLE)
+        root = build_hierarchy(space)
+        nodes = list(root.walk())
+        assert nodes[0] is root
+        leaves = [n for n in nodes if n.is_leaf]
+        assert frozenset().union(*(n.variables for n in leaves)) == root.variables

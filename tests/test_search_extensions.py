@@ -1,0 +1,182 @@
+"""Tests for the extension strategies: RandomSearch and the
+precision ladder."""
+
+import pytest
+
+from helpers import ToyProgram
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.types import Precision
+from repro.search import PrecisionLadderSearch, RandomSearch, make_strategy
+
+
+def _evaluator(program=None, **kwargs):
+    program = program if program is not None else ToyProgram(n_clusters=4, toxic=(0,))
+    return ConfigurationEvaluator(program, measurement_noise=0.0, **kwargs)
+
+
+class TestRandomSearch:
+    def test_registered(self):
+        assert make_strategy("RS").strategy_name == "random"
+        assert make_strategy("random-search").strategy_name == "random"
+
+    def test_finds_a_passing_config(self):
+        outcome = RandomSearch(budget=20, seed=1).run(_evaluator())
+        assert outcome.found_solution
+        program = ToyProgram(n_clusters=4, toxic=(0,))
+        space = program.search_space()
+        toxic = space.clusters[0].cid
+        assert toxic not in space.lowered_location_set(outcome.final.config)
+
+    def test_budget_bounds_unique_evaluations(self):
+        outcome = RandomSearch(budget=10, seed=3).run(
+            _evaluator(ToyProgram(n_clusters=12)),
+        )
+        assert outcome.evaluations <= 10
+
+    def test_deterministic_per_seed(self):
+        a = RandomSearch(budget=15, seed=7).run(_evaluator())
+        b = RandomSearch(budget=15, seed=7).run(_evaluator())
+        assert a.final.config == b.final.config
+        assert a.evaluations == b.evaluations
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            RandomSearch(budget=0)
+
+    def test_nothing_passes(self):
+        outcome = RandomSearch(budget=10).run(
+            _evaluator(ToyProgram(n_clusters=2, toxic=(0, 1))),
+        )
+        assert not outcome.found_solution
+
+    def test_describe(self):
+        info = RandomSearch(budget=12, seed=5).describe()
+        assert info["budget"] == 12
+        assert info["seed"] == 5
+
+
+class TestPrecisionLadder:
+    def test_registered(self):
+        assert make_strategy("LD").strategy_name == "precision-ladder"
+
+    def test_reaches_half_when_tolerated(self):
+        """ToyProgram's error model ignores the level, so the ladder
+        should push everything convertible down to half."""
+        outcome = PrecisionLadderSearch().run(_evaluator())
+        assert outcome.found_solution
+        levels = set(outcome.final.config.values())
+        assert Precision.HALF in levels
+        assert Precision.DOUBLE not in levels or len(levels) >= 1
+
+    def test_kernel_backs_off_at_strict_threshold(self, data_env):
+        """On a real kernel whose fp16 error violates the bound, the
+        ladder must return the single-precision rung."""
+        from repro.benchmarks.base import get_benchmark
+        from repro.verify.quality import QualitySpec
+        evaluator = ConfigurationEvaluator(
+            get_benchmark("banded-lin-eq"), quality=QualitySpec("MAE", 1e-8),
+        )
+        outcome = PrecisionLadderSearch().run(evaluator)
+        assert outcome.found_solution
+        assert set(outcome.final.config.values()) == {Precision.SINGLE}
+
+    def test_kernel_reaches_half_at_loose_threshold(self, data_env):
+        from repro.benchmarks.base import get_benchmark
+        from repro.verify.quality import QualitySpec
+        evaluator = ConfigurationEvaluator(
+            get_benchmark("banded-lin-eq"), quality=QualitySpec("MAE", 1e-3),
+        )
+        outcome = PrecisionLadderSearch().run(evaluator)
+        assert outcome.found_solution
+        assert Precision.HALF in set(outcome.final.config.values())
+        dd = make_strategy("DD").run(ConfigurationEvaluator(
+            get_benchmark("banded-lin-eq"), quality=QualitySpec("MAE", 1e-3),
+        ))
+        assert outcome.speedup > dd.speedup
+
+    def test_nothing_convertible(self):
+        outcome = PrecisionLadderSearch().run(
+            _evaluator(ToyProgram(n_clusters=2, toxic=(0, 1))),
+        )
+        assert not outcome.found_solution
+
+    def test_mixed_three_level_config_is_possible(self, data_env):
+        """On eos at a mid threshold the ladder may keep some clusters
+        at single while dropping others to half — verify the machinery
+        produces valid mixed-level configurations at all."""
+        from repro.benchmarks.base import get_benchmark
+        from repro.verify.quality import QualitySpec
+        evaluator = ConfigurationEvaluator(
+            get_benchmark("eos"), quality=QualitySpec("MAE", 1e-5),
+        )
+        outcome = PrecisionLadderSearch().run(evaluator)
+        assert outcome.found_solution
+        space = get_benchmark("eos").search_space()
+        assert space.is_compilable(outcome.final.config)
+
+
+class TestMultiLevelCombinational:
+    """The paper's full p**loc enumeration (Section II)."""
+
+    def _search(self, program, levels):
+        from repro.search import CombinationalSearch
+        evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+        return CombinationalSearch(levels=levels).run(evaluator)
+
+    def test_p_cubed_enumeration_count(self):
+        program = ToyProgram(n_clusters=2)
+        outcome = self._search(
+            program, (Precision.HALF, Precision.SINGLE, Precision.DOUBLE),
+        )
+        # 3^2 assignments minus the all-double baseline
+        assert outcome.evaluations == 3 ** 2 - 1
+
+    def test_finds_the_half_optimum(self):
+        program = ToyProgram(n_clusters=2)
+        outcome = self._search(
+            program, (Precision.HALF, Precision.SINGLE, Precision.DOUBLE),
+        )
+        assert outcome.found_solution
+        assert set(outcome.final.config.values()) == {Precision.HALF}
+
+    def test_avoids_toxic_cluster_at_every_level(self):
+        program = ToyProgram(n_clusters=3, toxic=(1,))
+        outcome = self._search(
+            program, (Precision.HALF, Precision.SINGLE, Precision.DOUBLE),
+        )
+        assert outcome.found_solution
+        toxic_members = program.search_space().clusters[1].members
+        for uid in toxic_members:
+            assert outcome.final.config.precision_of(uid) is Precision.DOUBLE
+
+    def test_ceiling_guards_explosion(self):
+        from repro.search import CombinationalSearch
+        program = ToyProgram(n_clusters=10)
+        evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
+        strategy = CombinationalSearch(
+            levels=(Precision.HALF, Precision.SINGLE, Precision.DOUBLE),
+            max_configurations=100,
+        )
+        with pytest.raises(ValueError, match="ceiling"):
+            strategy._search(evaluator)
+
+    def test_describe_includes_levels(self):
+        from repro.search import CombinationalSearch
+        info = CombinationalSearch(
+            levels=(Precision.SINGLE, Precision.DOUBLE),
+        ).describe()
+        assert info["levels"] == ["single", "double"]
+
+    def test_two_level_mode_matches_subset_mode(self):
+        from repro.search import CombinationalSearch
+        def fresh():
+            return ToyProgram(n_clusters=3, toxic=(0,))
+
+        subset = CombinationalSearch().run(
+            ConfigurationEvaluator(fresh(), measurement_noise=0.0),
+        )
+        multi = CombinationalSearch(
+            levels=(Precision.SINGLE, Precision.DOUBLE),
+        ).run(ConfigurationEvaluator(fresh(), measurement_noise=0.0))
+        assert subset.final.config == multi.final.config

@@ -1,0 +1,318 @@
+"""Unit tests for the Typeforge-style type-dependence analysis."""
+
+import pytest
+
+from repro.core.variables import VariableKind
+from repro.errors import StyleError
+from repro.typeforge import analyze_sources, scan_source
+from repro.typeforge.dependence import UnionFind
+
+
+def analyze(src, entry=None):
+    return analyze_sources({"mod": src}, entry=entry, program="test")
+
+
+LISTING1 = '''
+def vect_mult(ws, n, input, inout, ratio):
+    ratio = ws.param("ratio", ratio)
+    res = ws.scalar("res", 0.0)
+    for i in range(n):
+        res = res + ratio * input[i]
+    inout[0] = inout[0] + res
+
+def foo(ws):
+    arr = ws.array("arr", 10)
+    val = ws.array("val", 1)
+    scale = ws.scalar("scale", 2.0)
+    vect_mult(ws, 10, arr, val, scale)
+'''
+
+
+class TestListing1:
+    """The paper's running example must produce its exact partition."""
+
+    def test_partition(self):
+        report = analyze(LISTING1, entry="foo")
+        partition = {frozenset(c.members) for c in report.clusters}
+        assert partition == {
+            frozenset({"foo.arr", "vect_mult.input"}),
+            frozenset({"foo.val", "vect_mult.inout"}),
+            frozenset({"foo.scale"}),
+            frozenset({"vect_mult.ratio"}),
+            frozenset({"vect_mult.res"}),
+        }
+
+    def test_tv_tc(self):
+        report = analyze(LISTING1, entry="foo")
+        assert report.total_variables == 7
+        assert report.total_clusters == 5
+
+    def test_name_map(self):
+        report = analyze(LISTING1, entry="foo")
+        assert report.name_map["arr"] == "foo.arr"
+        assert report.name_map["ratio"] == "vect_mult.ratio"
+        # the array-bound parameter has no runtime declaration
+        assert "input" not in report.name_map
+
+
+class TestScanner:
+    def test_declarations_found(self):
+        scan = scan_source(
+            "def k(ws):\n x = ws.array('x', 4)\n s = ws.scalar('s', 1.0)\n",
+            "m",
+        )
+        decls = {(d.slot.name, d.decl_kind) for d in scan.functions["k"].declarations}
+        assert decls == {("x", "array"), ("s", "scalar")}
+
+    def test_mp_fread_is_array_declaration(self):
+        scan = scan_source(
+            "def k(ws, path):\n img = mp_fread(ws, 'img', path)\n", "m",
+        )
+        decls = scan.functions["k"].declarations
+        assert decls[0].decl_kind == "array"
+        assert decls[0].slot.name == "img"
+
+    def test_declaration_name_mismatch_rejected(self):
+        with pytest.raises(StyleError, match="must match"):
+            analyze("def k(ws):\n y = ws.array('x', 4)\n")
+
+    def test_double_declaration_rejected(self):
+        src = "def k(ws):\n x = ws.array('x', 4)\n x = ws.array('x', 8)\n"
+        with pytest.raises(StyleError, match="declared twice"):
+            analyze(src)
+
+    def test_non_literal_name_rejected(self):
+        with pytest.raises(StyleError, match="string literal"):
+            analyze("def k(ws, n):\n x = ws.array(n, 4)\n")
+
+    def test_ws_param_skipped_in_callsites(self):
+        scan = scan_source(
+            "def g(ws, a):\n a[0] = 1.0\n"
+            "def k(ws):\n x = ws.array('x', 4)\n g(ws, x)\n",
+            "m",
+        )
+        callee, args = scan.functions["k"].callsites[0]
+        assert callee == "g"
+        assert args == [("x", 0)]
+
+    def test_subscripts_recorded(self):
+        scan = scan_source("def k(ws, a):\n a[0] = a[1]\n", "m")
+        assert "a" in scan.functions["k"].subscripted
+
+    def test_returns_recorded(self):
+        scan = scan_source("def k(ws):\n x = ws.array('x', 1)\n return x\n", "m")
+        assert scan.functions["k"].returns == ["x"]
+
+
+class TestDependenceRules:
+    def test_tuple_swap_unifies(self):
+        src = (
+            "def k(ws):\n"
+            " x = ws.array('x', 4)\n"
+            " v = ws.array('v', 4)\n"
+            " x, v = v, x\n"
+        )
+        report = analyze(src)
+        assert report.total_clusters == 1
+        assert report.clusters[0].members == frozenset({"k.x", "k.v"})
+
+    def test_slice_alias_unifies(self):
+        src = (
+            "def g(ws, part):\n part[0] = 1.0\n"
+            "def k(ws):\n"
+            " big = ws.array('big', 10)\n"
+            " chunk = big[2:6]\n"
+            " g(ws, chunk)\n"
+        )
+        report = analyze(src)
+        cluster = next(c for c in report.clusters if "k.big" in c)
+        assert "g.part" in cluster
+
+    def test_scalar_element_load_does_not_create_variable(self):
+        src = (
+            "def k(ws):\n"
+            " coef = ws.array('coef', 3)\n"
+            " q = coef[0]\n"
+            " x = ws.array('x', 4)\n"
+            " x[:] = x * q\n"
+        )
+        report = analyze(src)
+        assert report.total_variables == 2  # coef and x only
+        assert report.total_clusters == 2
+
+    def test_scalar_assignment_does_not_unify(self):
+        src = (
+            "def k(ws):\n"
+            " a = ws.scalar('a', 1.0)\n"
+            " b = ws.scalar('b', 2.0)\n"
+            " b = a\n"
+        )
+        report = analyze(src)
+        assert report.total_clusters == 2
+
+    def test_return_binding_aliases(self):
+        src = (
+            "def make(ws):\n"
+            " buf = ws.array('buf', 4)\n"
+            " return buf\n"
+            "def use(ws, data):\n"
+            " data[0] = 1.0\n"
+            "def k(ws):\n"
+            " out = make(ws)\n"
+            " use(ws, out)\n"
+        )
+        report = analyze(src, entry="k")
+        cluster = next(c for c in report.clusters if "make.buf" in c)
+        assert "use.data" in cluster
+
+    def test_shared_parameter_unifies_two_arrays(self):
+        src = (
+            "def f(ws, s):\n s[0] = 0.0\n"
+            "def k(ws):\n"
+            " a = ws.array('a', 4)\n"
+            " b = ws.array('b', 4)\n"
+            " f(ws, a)\n"
+            " f(ws, b)\n"
+        )
+        report = analyze(src)
+        assert report.total_clusters == 1
+        assert len(report.clusters[0]) == 3
+
+    def test_entry_params_are_not_variables(self):
+        src = "def k(ws, data):\n x = ws.array('x', init=data[0])\n"
+        report = analyze(src, entry="k")
+        assert report.total_variables == 1
+
+    def test_scalar_in_pointer_context_rejected(self):
+        src = (
+            "def f(ws, arr):\n arr[0] = 1.0\n"
+            "def k(ws):\n s = ws.scalar('s', 1.0)\n f(ws, s)\n"
+        )
+        with pytest.raises(StyleError, match="pointer"):
+            analyze(src)
+
+    def test_duplicate_function_across_modules_rejected(self):
+        with pytest.raises(StyleError, match="more than one module"):
+            analyze_sources({
+                "m1": "def f(ws):\n x = ws.array('x', 1)\n",
+                "m2": "def f(ws):\n y = ws.array('y', 1)\n",
+            })
+
+    def test_duplicate_bare_name_rejected(self):
+        src = (
+            "def f(ws):\n x = ws.array('x', 1)\n"
+            "def g(ws):\n x = ws.array('x', 1)\n"
+        )
+        with pytest.raises(StyleError, match="unique"):
+            analyze(src)
+
+    def test_cross_module_binding(self):
+        report = analyze_sources({
+            "ops": "def scale(ws, vec):\n vec[:] = vec * 0.5\n",
+            "main": (
+                "def k(ws):\n"
+                " data = ws.array('data', 8)\n"
+                " scale(ws, data)\n"
+            ),
+        }, entry="k")
+        cluster = next(c for c in report.clusters if "k.data" in c)
+        assert "scale.vec" in cluster
+        variables = {v.uid: v for v in report.variables}
+        assert variables["scale.vec"].module == "ops"
+        assert variables["k.data"].module == "main"
+
+
+class TestReport:
+    def test_search_space_construction(self):
+        report = analyze(LISTING1, entry="foo")
+        space = report.search_space()
+        assert space.total_variables == 7
+        assert space.total_clusters == 5
+
+    def test_function_and_module_listing(self):
+        report = analyze(LISTING1, entry="foo")
+        assert report.functions() == ("foo", "vect_mult")
+        assert report.modules() == ("mod",)
+        assert len(report.variables_in_function("foo")) == 3
+        assert len(report.variables_in_module("mod")) == 7
+
+    def test_summary_shape(self):
+        summary = analyze(LISTING1, entry="foo").summary()
+        assert summary["total_variables"] == 7
+        assert "clusters" in summary
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.find("a") == uf.find("c")
+        assert uf.find("d") == "d"
+
+    def test_groups(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.add("c")
+        groups = {frozenset(v) for v in uf.groups().values()}
+        assert groups == {frozenset({"a", "b"}), frozenset({"c"})}
+
+    def test_contains(self):
+        uf = UnionFind()
+        uf.add("x")
+        assert "x" in uf
+        assert "y" not in uf
+
+    def test_idempotent_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("a", "b")
+        assert len(uf.groups()) == 1
+
+
+class TestExplain:
+    def test_direct_binding_chain(self):
+        report = analyze(LISTING1, entry="foo")
+        chain = report.explain("foo.arr", "vect_mult.input")
+        assert chain is not None
+        assert len(chain) == 1
+        assert "argument/parameter binding" in chain[0]
+
+    def test_independent_variables_return_none(self):
+        report = analyze(LISTING1, entry="foo")
+        assert report.explain("foo.arr", "foo.val") is None
+        assert report.explain("foo.scale", "vect_mult.res") is None
+
+    def test_same_variable_is_empty_chain(self):
+        report = analyze(LISTING1, entry="foo")
+        assert report.explain("foo.arr", "foo.arr") == []
+
+    def test_unknown_variable_raises(self):
+        report = analyze(LISTING1, entry="foo")
+        with pytest.raises(KeyError, match="ghost"):
+            report.explain("foo.arr", "foo.ghost")
+
+    def test_multi_hop_chain(self):
+        src = (
+            "def middle(ws, m):\n m[0] = 1.0\n"
+            "def k(ws):\n"
+            " a = ws.array('a', 4)\n"
+            " b = ws.array('b', 4)\n"
+            " middle(ws, a)\n"
+            " middle(ws, b)\n"
+        )
+        report = analyze(src)
+        chain = report.explain("k.a", "k.b")
+        assert chain is not None
+        assert len(chain) == 2  # a -> middle.m -> b
+
+    def test_explanation_consistent_with_clusters(self):
+        """explain() finds a chain iff the pair shares a cluster."""
+        report = analyze(LISTING1, entry="foo")
+        for first in report.variables:
+            for second in report.variables:
+                connected = report.explain(first.uid, second.uid) is not None
+                same_cluster = any(
+                    first.uid in c and second.uid in c for c in report.clusters
+                )
+                assert connected == same_cluster, (first.uid, second.uid)

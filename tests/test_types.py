@@ -1,0 +1,152 @@
+"""Unit tests for repro.core.types (Precision, PrecisionConfig)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.types import Precision, PrecisionConfig
+
+
+class TestPrecision:
+    def test_dtype_mapping(self):
+        assert Precision.HALF.dtype == np.dtype(np.float16)
+        assert Precision.SINGLE.dtype == np.dtype(np.float32)
+        assert Precision.DOUBLE.dtype == np.dtype(np.float64)
+
+    def test_bits_and_bytes(self):
+        assert Precision.HALF.bits == 16
+        assert Precision.SINGLE.bits == 32
+        assert Precision.DOUBLE.bits == 64
+        assert Precision.SINGLE.bytes == 4
+
+    @pytest.mark.parametrize("alias, expected", [
+        ("single", Precision.SINGLE),
+        ("float", Precision.SINGLE),
+        ("fp32", Precision.SINGLE),
+        ("32", Precision.SINGLE),
+        ("DOUBLE", Precision.DOUBLE),
+        ("float64", Precision.DOUBLE),
+        ("half", Precision.HALF),
+        (" fp16 ", Precision.HALF),
+    ])
+    def test_from_name(self, alias, expected):
+        assert Precision.from_name(alias) is expected
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            Precision.from_name("quad")
+
+    def test_from_dtype_roundtrip(self):
+        for precision in Precision:
+            assert Precision.from_dtype(precision.dtype) is precision
+
+    def test_from_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            Precision.from_dtype(np.int32)
+
+    def test_ordering(self):
+        assert Precision.HALF < Precision.SINGLE < Precision.DOUBLE
+        assert Precision.DOUBLE >= Precision.SINGLE
+        assert not Precision.SINGLE > Precision.SINGLE
+        assert Precision.SINGLE <= Precision.SINGLE
+
+    def test_ordering_with_other_types(self):
+        with pytest.raises(TypeError):
+            _ = Precision.SINGLE < 32
+
+
+class TestPrecisionConfig:
+    def test_empty_config_is_baseline(self):
+        config = PrecisionConfig()
+        assert config.is_baseline()
+        assert config.precision_of("anything") is Precision.DOUBLE
+        assert len(config) == 0
+
+    def test_assignments_resolve(self):
+        config = PrecisionConfig({"a": Precision.SINGLE})
+        assert config.precision_of("a") is Precision.SINGLE
+        assert config.precision_of("b") is Precision.DOUBLE
+        assert config.dtype_of("a") == np.dtype(np.float32)
+
+    def test_default_assignments_are_dropped(self):
+        config = PrecisionConfig({"a": Precision.DOUBLE, "b": Precision.SINGLE})
+        assert "a" not in config
+        assert "b" in config
+        assert len(config) == 1
+
+    def test_equality_is_canonical(self):
+        explicit = PrecisionConfig({"a": Precision.DOUBLE})
+        assert explicit == PrecisionConfig()
+        assert hash(explicit) == hash(PrecisionConfig())
+
+    def test_rejects_non_precision_values(self):
+        with pytest.raises(TypeError, match="must be a Precision"):
+            PrecisionConfig({"a": "single"})
+
+    def test_assign_returns_new_config(self):
+        base = PrecisionConfig()
+        derived = base.assign("x", Precision.SINGLE)
+        assert base.is_baseline()
+        assert derived.precision_of("x") is Precision.SINGLE
+
+    def test_assign_many(self):
+        config = PrecisionConfig().assign(["x", "y"], Precision.HALF)
+        assert config.precision_of("x") is Precision.HALF
+        assert config.precision_of("y") is Precision.HALF
+
+    def test_without(self):
+        config = PrecisionConfig({"x": Precision.SINGLE, "y": Precision.SINGLE})
+        reduced = config.without("x")
+        assert reduced.precision_of("x") is Precision.DOUBLE
+        assert reduced.precision_of("y") is Precision.SINGLE
+
+    def test_merge_prefers_other(self):
+        first = PrecisionConfig({"x": Precision.SINGLE})
+        second = PrecisionConfig({"x": Precision.HALF, "y": Precision.SINGLE})
+        merged = first.merge(second)
+        assert merged.precision_of("x") is Precision.HALF
+        assert merged.precision_of("y") is Precision.SINGLE
+
+    def test_lowered_locations(self):
+        config = PrecisionConfig({"x": Precision.SINGLE, "y": Precision.HALF})
+        assert config.lowered_locations() == frozenset({"x", "y"})
+
+    def test_mapping_protocol(self):
+        config = PrecisionConfig({"x": Precision.SINGLE})
+        assert dict(config) == {"x": Precision.SINGLE}
+        assert config["x"] is Precision.SINGLE
+        assert list(iter(config)) == ["x"]
+
+    def test_json_roundtrip(self):
+        config = PrecisionConfig({"f.x": Precision.SINGLE, "g.y": Precision.HALF})
+        payload = config.to_json_dict()
+        json.dumps(payload)  # must be serialisable
+        assert PrecisionConfig.from_json_dict(payload) == config
+
+    def test_json_dict_structure(self):
+        payload = PrecisionConfig({"x": Precision.SINGLE}).to_json_dict()
+        assert payload["default"] == "double"
+        assert payload["actions"] == [{"location": "x", "to_type": "single"}]
+
+    def test_from_json_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            PrecisionConfig.from_json_dict({"nonsense": True})
+
+    def test_digest_stable_and_distinct(self):
+        a = PrecisionConfig({"x": Precision.SINGLE})
+        b = PrecisionConfig({"y": Precision.SINGLE})
+        assert a.digest() == PrecisionConfig({"x": Precision.SINGLE}).digest()
+        assert a.digest() != b.digest()
+        assert len(a.digest()) == 16
+
+    def test_repr_mentions_assignments(self):
+        config = PrecisionConfig({"x": Precision.SINGLE})
+        assert "x=single" in repr(config)
+
+    def test_custom_default(self):
+        config = PrecisionConfig(default=Precision.SINGLE)
+        assert config.precision_of("x") is Precision.SINGLE
+        raised = config.assign("x", Precision.DOUBLE)
+        assert raised.precision_of("x") is Precision.DOUBLE
+        assert raised.lowered_locations() == frozenset()

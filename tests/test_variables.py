@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.variables (Variable, Cluster, SearchSpace)."""
+
+import pytest
+
+from repro.core.types import Precision, PrecisionConfig
+from repro.core.variables import (
+    Cluster, Granularity, SearchSpace, Variable, VariableKind,
+)
+
+
+def _two_cluster_space():
+    variables = [
+        Variable("a", VariableKind.ARRAY, "f"),
+        Variable("b", VariableKind.PARAM, "g", pointer=True),
+        Variable("s", VariableKind.SCALAR, "f"),
+    ]
+    clusters = [
+        Cluster("f.a", frozenset({"f.a", "g.b"})),
+        Cluster("f.s", frozenset({"f.s"})),
+    ]
+    return SearchSpace(variables, clusters)
+
+
+class TestVariable:
+    def test_uid_is_function_qualified(self):
+        var = Variable("x", VariableKind.ARRAY, "kernel")
+        assert var.uid == "kernel.x"
+        assert str(var) == "kernel.x"
+
+    def test_arrays_are_always_pointers(self):
+        var = Variable("x", VariableKind.ARRAY, "kernel", pointer=False)
+        assert var.is_pointer
+
+    def test_scalar_is_not_pointer(self):
+        assert not Variable("s", VariableKind.SCALAR, "kernel").is_pointer
+
+    def test_param_pointer_flag(self):
+        assert Variable("p", VariableKind.PARAM, "f", pointer=True).is_pointer
+        assert not Variable("p", VariableKind.PARAM, "f").is_pointer
+
+
+class TestCluster:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Cluster("c", frozenset())
+
+    def test_iteration_is_sorted(self):
+        cluster = Cluster("c", frozenset({"b.y", "a.x"}))
+        assert list(cluster) == ["a.x", "b.y"]
+        assert len(cluster) == 2
+        assert "a.x" in cluster
+
+    def test_singleton(self):
+        assert Cluster("c", frozenset({"a.x"})).is_singleton
+
+
+class TestSearchSpaceConstruction:
+    def test_rejects_overlapping_clusters(self):
+        variables = [Variable("a", VariableKind.ARRAY, "f")]
+        clusters = [
+            Cluster("c1", frozenset({"f.a"})),
+            Cluster("c2", frozenset({"f.a"})),
+        ]
+        with pytest.raises(ValueError, match="overlap"):
+            SearchSpace(variables, clusters)
+
+    def test_rejects_uncovered_variables(self):
+        variables = [
+            Variable("a", VariableKind.ARRAY, "f"),
+            Variable("b", VariableKind.ARRAY, "f"),
+        ]
+        clusters = [Cluster("c1", frozenset({"f.a"}))]
+        with pytest.raises(ValueError, match="not covered"):
+            SearchSpace(variables, clusters)
+
+    def test_rejects_unknown_cluster_members(self):
+        variables = [Variable("a", VariableKind.ARRAY, "f")]
+        clusters = [Cluster("c1", frozenset({"f.a", "f.ghost"}))]
+        with pytest.raises(ValueError, match="unknown variables"):
+            SearchSpace(variables, clusters)
+
+    def test_rejects_duplicate_uids(self):
+        variables = [
+            Variable("a", VariableKind.ARRAY, "f"),
+            Variable("a", VariableKind.ARRAY, "f"),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            SearchSpace(variables, [Cluster("c", frozenset({"f.a"}))])
+
+    def test_requires_double_level(self):
+        variables = [Variable("a", VariableKind.ARRAY, "f")]
+        clusters = [Cluster("c", frozenset({"f.a"}))]
+        with pytest.raises(ValueError, match="double"):
+            SearchSpace(variables, clusters, levels=(Precision.SINGLE,))
+
+
+class TestSearchSpace:
+    def test_tv_tc(self):
+        space = _two_cluster_space()
+        assert space.total_variables == 3
+        assert space.total_clusters == 2
+
+    def test_locations_by_granularity(self):
+        space = _two_cluster_space()
+        assert space.locations() == ("f.a", "f.s")
+        variable_view = space.at(Granularity.VARIABLE)
+        assert variable_view.locations() == ("f.a", "f.s", "g.b")
+
+    def test_at_same_granularity_is_identity(self):
+        space = _two_cluster_space()
+        assert space.at(Granularity.CLUSTER) is space
+
+    def test_size_is_p_to_the_loc(self):
+        space = _two_cluster_space()
+        assert space.size() == 2 ** 2
+        assert space.at(Granularity.VARIABLE).size() == 2 ** 3
+
+    def test_cluster_of(self):
+        space = _two_cluster_space()
+        assert space.cluster_of("g.b").cid == "f.a"
+
+    def test_cluster_choice_fans_out(self):
+        space = _two_cluster_space()
+        config = space.lower("f.a")
+        assert config.precision_of("f.a") is Precision.SINGLE
+        assert config.precision_of("g.b") is Precision.SINGLE
+        assert config.precision_of("f.s") is Precision.DOUBLE
+
+    def test_variable_choice_does_not_fan_out(self):
+        space = _two_cluster_space().at(Granularity.VARIABLE)
+        config = space.lower("f.a")
+        assert config.precision_of("f.a") is Precision.SINGLE
+        assert config.precision_of("g.b") is Precision.DOUBLE
+
+    def test_unknown_location_raises(self):
+        space = _two_cluster_space()
+        with pytest.raises(KeyError, match="unknown cluster"):
+            space.lower("nope")
+        with pytest.raises(KeyError, match="unknown variable"):
+            space.at(Granularity.VARIABLE).lower("nope")
+
+    def test_uniform_config(self):
+        space = _two_cluster_space()
+        config = space.uniform_config(Precision.SINGLE)
+        assert config.lowered_locations() == {"f.a", "g.b", "f.s"}
+
+    def test_compilability(self):
+        space = _two_cluster_space()
+        split = PrecisionConfig({"f.a": Precision.SINGLE})  # g.b stays double
+        assert not space.is_compilable(split)
+        assert space.violated_clusters(split) == ("f.a",)
+        whole = space.lower("f.a")
+        assert space.is_compilable(whole)
+        assert space.violated_clusters(whole) == ()
+
+    def test_baseline_is_compilable(self):
+        assert _two_cluster_space().is_compilable(PrecisionConfig())
+
+    def test_lowered_location_set_cluster_granularity(self):
+        space = _two_cluster_space()
+        config = space.lower(["f.a", "f.s"])
+        assert space.lowered_location_set(config) == frozenset({"f.a", "f.s"})
+        partial = PrecisionConfig({"f.a": Precision.SINGLE})
+        assert space.lowered_location_set(partial) == frozenset()
+
+    def test_levels_sorted_and_deduped(self):
+        variables = [Variable("a", VariableKind.ARRAY, "f")]
+        clusters = [Cluster("c", frozenset({"f.a"}))]
+        space = SearchSpace(
+            variables, clusters,
+            levels=(Precision.DOUBLE, Precision.HALF, Precision.DOUBLE),
+        )
+        assert space.levels == (Precision.HALF, Precision.DOUBLE)
