@@ -17,7 +17,7 @@ from conftest import run_once
 
 from repro.benchmarks.base import application_benchmarks
 from repro.experiments import table5
-from repro.experiments.context import APP_ALGORITHMS, APP_THRESHOLDS
+from repro.experiments.context import APP_THRESHOLDS
 
 
 def test_table5(benchmark, ctx, results_dir):

@@ -10,6 +10,14 @@ tabulated side by side.
 Run with:  python examples/compare_algorithms.py [benchmark] [threshold]
 """
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a source checkout without install
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 import sys
 
 from repro.benchmarks import get_benchmark

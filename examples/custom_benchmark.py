@@ -14,6 +14,14 @@ script shows the full path for a user code:
 Run with:  python examples/custom_benchmark.py
 """
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a source checkout without install
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 import numpy as np
 
 from repro.core import ConfigurationEvaluator, ExecutionResult, Granularity

@@ -9,6 +9,14 @@ pipeline `mixpbench run configs/kmeans.yaml` executes from the shell.
 Run with:  python examples/harness_yaml.py
 """
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a source checkout without install
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 import tempfile
 from pathlib import Path
 

@@ -9,6 +9,14 @@ Evaluated Configurations (EV), Speedup (SU) and Accuracy (AC).
 Run with:  python examples/quickstart.py
 """
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a source checkout without install
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.benchmarks import get_benchmark
 from repro.core import ConfigurationEvaluator
 from repro.search import make_strategy

@@ -15,6 +15,14 @@ to show where the conversion stops being allowed.
 Run with:  python examples/tune_lavamd.py
 """
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a source checkout without install
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.benchmarks import get_benchmark
 from repro.core import ConfigurationEvaluator, Precision, PrecisionConfig
 from repro.runtime import DEFAULT_MACHINE

@@ -45,7 +45,7 @@ def compare_outcomes(a: SearchOutcome, b: SearchOutcome) -> OutcomeDelta:
     """Pairwise delta between two outcomes of the same search problem."""
     if (a.program, a.threshold) != (b.program, b.threshold):
         raise ValueError(
-            f"outcomes target different problems: "
+            "outcomes target different problems: "
             f"{a.program}@{a.threshold:g} vs {b.program}@{b.threshold:g}"
         )
     if a.found_solution and b.found_solution:

@@ -1,8 +1,13 @@
 """Core abstractions: precision types, program locations, evaluation."""
 
+from repro.core.batch import (
+    BatchExecutor, ExecutionFailure, ProcessExecutor, SerialExecutor,
+    ThreadExecutor, make_executor,
+)
 from repro.core.evaluator import ConfigurationEvaluator, TimingMode, measured_seconds
 from repro.core.program import ExecutionResult, Program
 from repro.core.results import EvaluationStatus, SearchOutcome, TrialRecord
+from repro.core.telemetry import EvalStats, TraceWriter
 from repro.core.types import Precision, PrecisionConfig
 from repro.core.variables import (
     Cluster, Granularity, SearchSpace, Variable, VariableKind,
@@ -14,4 +19,7 @@ __all__ = [
     "Program", "ExecutionResult",
     "ConfigurationEvaluator", "TimingMode", "measured_seconds",
     "EvaluationStatus", "TrialRecord", "SearchOutcome",
+    "BatchExecutor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
+    "ExecutionFailure", "make_executor",
+    "EvalStats", "TraceWriter",
 ]

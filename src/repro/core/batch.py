@@ -1,0 +1,258 @@
+"""Batch execution backends for the configuration evaluator.
+
+The paper's harness "offloads the search analysis in parallel on a
+cluster"; this module is the single-node analogue.  An executor takes
+a list of precision configurations and produces their raw
+:class:`~repro.core.program.ExecutionResult`\\ s — the *pure*,
+side-effect-free part of an evaluation.  All bookkeeping (trial
+indices, the simulated analysis clock, the 24-hour budget, quality
+verification) stays in the evaluator and is replayed serially, so a
+parallel run produces a trial log bit-identical to the serial one.
+
+Three backends are provided:
+
+``serial``
+    In-line execution; the degenerate executor used for reference runs.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  NumPy releases
+    the GIL inside large kernels, so threads already overlap real work.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` fed *picklable
+    work items* — ``(benchmark name, machine model, config JSON)``
+    triples — so nothing unpicklable crosses the process boundary.
+    Workers rebuild the benchmark from the suite registry (once per
+    process) and regenerate its inputs deterministically from the
+    benchmark seed.  Programs that are not registry benchmarks
+    (e.g. ad-hoc :class:`~repro.core.program.Program` objects) fall
+    back to in-process threads transparently.
+
+Executions are deterministic functions of the configuration, so *where*
+they run never changes *what* they return.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.program import ExecutionResult, Program
+from repro.core.types import PrecisionConfig
+
+__all__ = [
+    "ExecutionFailure", "BatchExecutor", "SerialExecutor", "ThreadExecutor",
+    "ProcessExecutor", "make_executor", "chunked", "EXECUTOR_NAMES",
+    "DEFAULT_BATCH_SIZE",
+]
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: how many configurations the batching strategies hand to
+#: ``evaluate_many`` at a time
+DEFAULT_BATCH_SIZE = 32
+
+
+def chunked(iterable, size: int):
+    """Yield lists of up to ``size`` items, preserving order."""
+    if size < 1:
+        raise ValueError("chunk size must be positive")
+    chunk: list = []
+    for item in iterable:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+#: exception types the evaluator treats as a runtime error of the
+#: configuration (not of the harness)
+RUNTIME_ERRORS = (FloatingPointError, ZeroDivisionError, ValueError, OverflowError)
+
+
+class ExecutionFailure:
+    """A configuration whose execution raised a runtime error.
+
+    Carries the exception type name across process boundaries; the
+    evaluator converts it back into a ``RUNTIME_ERROR`` trial.
+    """
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"ExecutionFailure({self.kind})"
+
+
+def execute_guarded(program: Program, config: PrecisionConfig):
+    """Execute in-process, mapping runtime errors to a failure marker."""
+    try:
+        return program.execute(config)
+    except RUNTIME_ERRORS as exc:
+        return ExecutionFailure(type(exc).__name__)
+
+
+class BatchExecutor:
+    """Base class: run a batch of configuration executions."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+
+    def run(
+        self, program: Program, configs: Sequence[PrecisionConfig]
+    ) -> list[ExecutionResult | ExecutionFailure]:
+        """Execute ``configs``; results align with the input order."""
+        return [execute_guarded(program, config) for config in configs]
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for in-line backends)."""
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class SerialExecutor(BatchExecutor):
+    """In-line execution — the reference backend."""
+
+    name = "serial"
+
+
+class ThreadExecutor(BatchExecutor):
+    """Thread-pool execution; the pool persists across batches."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 4) -> None:
+        super().__init__(workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def run(self, program, configs):
+        if len(configs) <= 1:
+            return [execute_guarded(program, config) for config in configs]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="mixpbench-eval",
+            )
+        return list(self._pool.map(lambda c: execute_guarded(program, c), configs))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# -- process backend ---------------------------------------------------------
+
+#: per-worker-process benchmark instances, keyed by (name, machine name)
+_WORKER_BENCHMARKS: dict[tuple[str, str], Any] = {}
+
+
+def _execute_work_item(item: tuple[str, Any, Mapping]) -> tuple:
+    """Worker-side execution of one picklable work item.
+
+    Returns a plain ``("ok", output, modeled_seconds)`` or
+    ``("error", exception_name)`` tuple — nothing richer than NumPy
+    arrays and strings crosses back to the parent.
+    """
+    program_name, machine, config_payload = item
+    key = (program_name, machine.name)
+    bench = _WORKER_BENCHMARKS.get(key)
+    if bench is None:
+        from repro.benchmarks.base import get_benchmark
+
+        bench = get_benchmark(program_name, machine=machine)
+        bench.inputs()  # deterministic regeneration, once per process
+        _WORKER_BENCHMARKS[key] = bench
+    config = PrecisionConfig.from_json_dict(config_payload)
+    try:
+        result = bench.execute(config)
+    except RUNTIME_ERRORS as exc:
+        return ("error", type(exc).__name__)
+    output = np.asarray(result.output, dtype=np.float64)
+    return ("ok", output, float(result.modeled_seconds))
+
+
+class ProcessExecutor(BatchExecutor):
+    """Process-pool execution over picklable work items.
+
+    Only registry benchmarks can be shipped by name; other programs
+    degrade to an in-process thread pool so callers never have to
+    special-case the backend.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__(workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._thread_fallback: ThreadExecutor | None = None
+
+    def _resolvable(self, program: Program) -> bool:
+        name = getattr(program, "name", None)
+        if not name:
+            return False
+        from repro.benchmarks.base import available_benchmarks
+
+        return name in available_benchmarks()
+
+    def run(self, program, configs):
+        if len(configs) <= 1:
+            return [execute_guarded(program, config) for config in configs]
+        if not self._resolvable(program):
+            if self._thread_fallback is None:
+                self._thread_fallback = ThreadExecutor(self.workers)
+            return self._thread_fallback.run(program, configs)
+
+        machine = getattr(program, "machine", None)
+        if machine is None:
+            from repro.runtime.machine import DEFAULT_MACHINE
+
+            machine = DEFAULT_MACHINE
+        items = [
+            (program.name, machine, config.to_json_dict()) for config in configs
+        ]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        results: list[ExecutionResult | ExecutionFailure] = []
+        for payload in self._pool.map(_execute_work_item, items):
+            if payload[0] == "error":
+                results.append(ExecutionFailure(payload[1]))
+            else:
+                _tag, output, modeled = payload
+                results.append(ExecutionResult(
+                    output=output, profile=None, modeled_seconds=modeled,
+                ))
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._thread_fallback is not None:
+            self._thread_fallback.close()
+            self._thread_fallback = None
+
+
+def make_executor(name: str, workers: int | None = None) -> BatchExecutor:
+    """Build an executor from its CLI/YAML name."""
+    key = (name or "serial").strip().lower()
+    if key == "serial":
+        return SerialExecutor()
+    if key == "thread":
+        return ThreadExecutor(workers if workers is not None else 4)
+    if key == "process":
+        return ProcessExecutor(workers if workers is not None else 2)
+    raise ValueError(
+        f"unknown executor {name!r}; choose one of {EXECUTOR_NAMES}"
+    )

@@ -18,6 +18,20 @@ For each candidate configuration it:
 
 Identical configurations are cached (cache hits cost nothing and do not
 increment the evaluated-configurations counter EV).
+
+Two further layers sit on top of the serial contract:
+
+* **Batching** — :meth:`ConfigurationEvaluator.prefetch` fans the raw
+  executions of not-yet-seen configurations out to a pluggable
+  :class:`~repro.core.batch.BatchExecutor`; the bookkeeping (trial
+  index, budget, quality check) is then replayed serially, so
+  :meth:`evaluate_many` produces a trial log bit-identical to calling
+  :meth:`evaluate` in a loop.
+* **Persistence** — with an
+  :class:`~repro.runtime.cache.EvaluationCache` attached, every fresh
+  evaluation is written to disk and replayed on later runs.  A replay
+  charges the *same* simulated cost and EV increment as the original
+  evaluation (tables stay identical); only real host time is saved.
 """
 
 from __future__ import annotations
@@ -26,16 +40,20 @@ import enum
 import hashlib
 import math
 import time
+from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.program import Program
+from repro.core.batch import RUNTIME_ERRORS, BatchExecutor, ExecutionFailure
+from repro.core.program import ExecutionResult, Program
 from repro.core.results import EvaluationStatus, TrialRecord
+from repro.core.telemetry import EvalStats, TraceWriter
 from repro.core.types import PrecisionConfig
 from repro.core.variables import Granularity, SearchSpace
 from repro.errors import MixPBenchError, SearchBudgetExceeded
-from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
+from repro.runtime.cache import EvaluationCache, context_fingerprint
 from repro.verify.quality import QualitySpec
+from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
 
 __all__ = ["ConfigurationEvaluator", "TimingMode", "measured_seconds"]
 
@@ -92,6 +110,20 @@ class ConfigurationEvaluator:
         Optional hard ceiling on EV, independent of the clock.
     measurement_noise:
         Relative sigma of the per-run timing jitter.
+    executor:
+        Optional :class:`~repro.core.batch.BatchExecutor` used by
+        :meth:`prefetch` / :meth:`evaluate_many` to run executions in
+        parallel.  ``None`` keeps everything in-line.
+    cache:
+        Optional :class:`~repro.runtime.cache.EvaluationCache`;
+        fresh evaluations are persisted and replayed across runs.
+    stats:
+        Optional :class:`~repro.core.telemetry.EvalStats` to update
+        (shared when several evaluators feed one report); a private
+        block is created when omitted.
+    trace:
+        Optional :class:`~repro.core.telemetry.TraceWriter` receiving
+        one JSON-lines event per evaluation and batch.
     """
 
     def __init__(
@@ -103,6 +135,10 @@ class ConfigurationEvaluator:
         max_evaluations: int | None = None,
         measurement_noise: float = 0.01,
         timing: TimingMode = TimingMode.MODELED,
+        executor: BatchExecutor | None = None,
+        cache: EvaluationCache | None = None,
+        stats: EvalStats | None = None,
+        trace: TraceWriter | None = None,
     ) -> None:
         self.program = program
         self.quality = quality if quality is not None else program.quality
@@ -111,12 +147,35 @@ class ConfigurationEvaluator:
         self.max_evaluations = max_evaluations
         self.measurement_noise = measurement_noise
         self.timing = timing
+        self.executor = executor
+        self.cache = cache
+        self.trace = trace
+        self.stats = stats if stats is not None else EvalStats()
+        if executor is not None:
+            self.stats.executor = executor.name
+            self.stats.workers = executor.workers
 
         self._cluster_space = program.search_space(Granularity.CLUSTER)
         self._cache: dict[PrecisionConfig, TrialRecord] = {}
+        self._staged: dict[PrecisionConfig, ExecutionResult | ExecutionFailure] = {}
         self._trials: list[TrialRecord] = []
         self.evaluations = 0
         self.analysis_seconds = 0.0
+        # Everything that changes what an evaluation would return or
+        # cost is folded into the persistent-cache context; a mismatch
+        # on any field gives a cold cache instead of a wrong replay.
+        self._cache_context = context_fingerprint(
+            program=program.name,
+            program_seed=getattr(program, "seed", None),
+            metric=self.quality.metric,
+            threshold=self.quality.threshold,
+            machine=machine.name,
+            runs_per_config=program.runs_per_config,
+            noise=self._effective_noise(),
+            timing=self.timing.value,
+            compile_seconds=program.compile_seconds,
+            nominal_seconds=program.nominal_seconds,
+        )
 
         # Reference execution: the original all-double program.  Its
         # output is the verification reference; its measured time is
@@ -190,6 +249,12 @@ class ConfigurationEvaluator:
         """
         cached = self._cache.get(config)
         if cached is not None:
+            self.stats.memory_hits += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "cache_hit", level="memory", config=config.digest(),
+                    index=cached.index,
+                )
             hit = TrialRecord(
                 index=cached.index,
                 config=config,
@@ -219,6 +284,64 @@ class ConfigurationEvaluator:
         self._trials.append(record)
         return record
 
+    def prefetch(self, configs: Iterable[PrecisionConfig]) -> int:
+        """Speculatively execute configurations on the batch executor.
+
+        Only configurations that would actually execute are shipped:
+        repeats, persistent-cache hits, non-compilable candidates and
+        already-staged configurations are filtered out.  Results are
+        staged so a later :meth:`evaluate` consumes them instead of
+        executing — budget accounting, trial order and indices are
+        untouched.  A no-op without an executor, and under wall-clock
+        timing (concurrent wall timings would not be comparable).
+
+        Returns the number of executions fanned out.
+        """
+        if self.executor is None or self.timing is not TimingMode.MODELED:
+            return 0
+        pending: list[PrecisionConfig] = []
+        seen: set[PrecisionConfig] = set()
+        for config in configs:
+            if config in seen or config in self._cache or config in self._staged:
+                continue
+            seen.add(config)
+            if not self._cluster_space.is_compilable(config):
+                continue  # rejected before running; nothing to stage
+            if self.cache is not None and self.cache.get(
+                self.program.name, self._cache_context, config.digest()
+            ) is not None:
+                continue  # will replay from the persistent cache
+            pending.append(config)
+        self.stats.batches += 1
+        self.stats.batched_configs += len(seen)
+        if not pending:
+            return 0
+        started = time.perf_counter()
+        results = self.executor.run(self.program, pending)
+        self.stats.wall_seconds += time.perf_counter() - started
+        self.stats.prefetched_executions += len(pending)
+        self._staged.update(zip(pending, results))
+        if self.trace is not None:
+            self.trace.emit(
+                "batch", requested=len(seen), executed=len(pending),
+                executor=self.executor.name, workers=self.executor.workers,
+            )
+        return len(pending)
+
+    def evaluate_many(
+        self, configs: Sequence[PrecisionConfig]
+    ) -> list[TrialRecord]:
+        """Evaluate a batch: parallel execution, serial bookkeeping.
+
+        Equivalent to ``[self.evaluate(c) for c in configs]`` in every
+        observable way (trial log, EV, simulated clock, budget
+        exhaustion point); the raw executions of cache misses are
+        computed on the executor first.
+        """
+        configs = list(configs)
+        self.prefetch(configs)
+        return [self.evaluate(config) for config in configs]
+
     # -- internals -----------------------------------------------------------
     def _run_cost(self, modeled_seconds: float) -> float:
         """Simulated wall-clock cost of building + timing one config."""
@@ -229,8 +352,80 @@ class ConfigurationEvaluator:
 
     def _evaluate_fresh(self, config: PrecisionConfig) -> TrialRecord:
         self.evaluations += 1
+        self.stats.evaluations += 1
         index = self.evaluations
 
+        replayed = self._replay_persistent(config, index)
+        if replayed is not None:
+            return replayed
+
+        record = self._run_fresh(config, index)
+        self.stats.fresh_evaluations += 1
+        if record.status is EvaluationStatus.COMPILE_ERROR:
+            self.stats.compile_errors += 1
+        if self.cache is not None:
+            self.cache.put(
+                self.program.name, self._cache_context, config.digest(),
+                record.to_json_dict(),
+            )
+        if self.trace is not None:
+            self.trace.emit(
+                "evaluate", source="fresh", index=index,
+                config=config.digest(), status=record.status.value,
+                analysis_seconds=record.analysis_seconds,
+            )
+        return record
+
+    def _replay_persistent(
+        self, config: PrecisionConfig, index: int
+    ) -> TrialRecord | None:
+        """Replay a prior run's record: same simulated cost, same EV
+        increment, no program execution."""
+        if self.cache is None:
+            return None
+        payload = self.cache.get(
+            self.program.name, self._cache_context, config.digest()
+        )
+        if payload is None:
+            return None
+        stored = TrialRecord.from_json_dict(payload)
+        record = TrialRecord(
+            index=index, config=config, status=stored.status,
+            error_value=stored.error_value, speedup=stored.speedup,
+            modeled_seconds=stored.modeled_seconds,
+            analysis_seconds=stored.analysis_seconds,
+        )
+        self.analysis_seconds += record.analysis_seconds
+        self.stats.persistent_hits += 1
+        if record.status is EvaluationStatus.COMPILE_ERROR:
+            self.stats.compile_errors += 1
+        if self.trace is not None:
+            self.trace.emit(
+                "evaluate", source="persistent", index=index,
+                config=config.digest(), status=record.status.value,
+                analysis_seconds=record.analysis_seconds,
+            )
+        return record
+
+    def _execute_or_fail(
+        self, config: PrecisionConfig
+    ) -> tuple[ExecutionResult, float] | None:
+        """Staged (prefetched) or in-line execution; ``None`` on a
+        runtime error of the configuration."""
+        staged = self._staged.pop(config, None)
+        if staged is not None:
+            if isinstance(staged, ExecutionFailure):
+                return None
+            return staged, staged.modeled_seconds
+        started = time.perf_counter()
+        try:
+            return self._timed_execute(config)
+        except RUNTIME_ERRORS:
+            return None
+        finally:
+            self.stats.wall_seconds += time.perf_counter() - started
+
+    def _run_fresh(self, config: PrecisionConfig, index: int) -> TrialRecord:
         if not self._cluster_space.is_compilable(config):
             cost = self.program.compile_seconds  # build fails, nothing runs
             self.analysis_seconds += cost
@@ -240,9 +435,8 @@ class ConfigurationEvaluator:
                 analysis_seconds=cost,
             )
 
-        try:
-            execution, seconds = self._timed_execute(config)
-        except (FloatingPointError, ZeroDivisionError, ValueError, OverflowError):
+        executed = self._execute_or_fail(config)
+        if executed is None:
             cost = self._run_cost(0.0)
             self.analysis_seconds += cost
             return TrialRecord(
@@ -250,6 +444,7 @@ class ConfigurationEvaluator:
                 status=EvaluationStatus.RUNTIME_ERROR,
                 analysis_seconds=cost,
             )
+        execution, seconds = executed
 
         cost = self._run_cost(seconds)
         self.analysis_seconds += cost

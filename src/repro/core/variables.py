@@ -19,7 +19,7 @@ cluster, which the evaluator rejects with a simulated ``CompileError``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.types import Precision, PrecisionConfig

@@ -16,13 +16,40 @@ import sys
 from repro.benchmarks.base import (
     application_benchmarks, get_benchmark, kernel_benchmarks,
 )
+from repro.core.batch import EXECUTOR_NAMES, make_executor
 from repro.core.evaluator import ConfigurationEvaluator
-from repro.harness.reporting import format_quality, format_speedup, format_table
+from repro.harness.reporting import (
+    format_eval_stats, format_quality, format_speedup, format_table,
+)
 from repro.harness.runner import Harness
 from repro.search.registry import available_strategies, make_strategy
 from repro.verify.quality import QualitySpec
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared batch-execution/caching flags for search-running commands."""
+    parser.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default="serial",
+        help="batch backend for configuration evaluation (default: serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the thread/process executors",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent evaluation cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="evaluation cache directory (default: <output>/cache)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="write a JSON-lines telemetry trace next to the results",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a YAML harness configuration")
     run.add_argument("config")
     run.add_argument("--output-dir", default="results")
+    _add_execution_flags(run)
 
     search = sub.add_parser("search", help="run one mixed-precision search")
     search.add_argument("benchmark")
@@ -55,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing", choices=["modeled", "wall"], default="modeled",
         help="runtime source: roofline model (default) or host wall clock",
     )
+    search.add_argument(
+        "--output-dir", default="results",
+        help="root directory for cache/trace artifacts",
+    )
+    search.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="also save the SearchOutcome as interchange JSON",
+    )
+    _add_execution_flags(search)
 
     profile = sub.add_parser(
         "profile", help="machine-model runtime breakdown of a benchmark",
@@ -111,9 +148,16 @@ def _cmd_analyze(name: str, explain: list[str] | None = None) -> int:
     return 0
 
 
-def _cmd_run(config: str, output_dir: str) -> int:
-    harness = Harness(output_dir=output_dir)
-    for report in harness.run_file(config):
+def _cmd_run(args: argparse.Namespace) -> int:
+    harness = Harness(
+        output_dir=args.output_dir,
+        executor=args.executor,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        trace=args.trace,
+    )
+    for report in harness.run_file(args.config):
         print(f"\n{report.name} ({report.metric} <= {report.threshold:g})")
         rows = []
         for a in report.analyses:
@@ -122,34 +166,60 @@ def _cmd_run(config: str, output_dir: str) -> int:
                 f"{a.analysis_hours:.2f}h",
                 "timeout" if a.timed_out else ("ok" if a.found_solution else "none"),
                 format_speedup(a.speedup), format_quality(a.error_value),
+                format_eval_stats(a.eval_stats),
             ])
         print(format_table(
-            ["analysis", "strategy", "EV", "time", "status", "SU", "AC"], rows,
+            ["analysis", "strategy", "EV", "time", "status", "SU", "AC",
+             "evaluation"], rows,
         ))
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.core.evaluator import TimingMode
+    from repro.core.telemetry import TraceWriter
+    from repro.runtime.cache import EvaluationCache
 
     bench = get_benchmark(args.benchmark)
     threshold = args.threshold if args.threshold is not None else bench.default_threshold
     quality = QualitySpec(args.metric or bench.metric, threshold)
     timing = TimingMode.WALL_CLOCK if args.timing == "wall" else TimingMode.MODELED
-    evaluator = ConfigurationEvaluator(
-        bench, quality=quality, max_evaluations=args.max_evaluations,
-        timing=timing,
-    )
-    outcome = make_strategy(args.algorithm).run(evaluator)
+    output_dir = Path(args.output_dir)
+    executor = make_executor(args.executor, args.workers)
+    cache = None
+    if not args.no_cache:
+        cache = EvaluationCache(args.cache_dir or output_dir / "cache")
+    trace = None
+    if args.trace:
+        trace = TraceWriter(
+            output_dir / "traces" / f"{bench.name}-{args.algorithm}.jsonl"
+        )
+    try:
+        evaluator = ConfigurationEvaluator(
+            bench, quality=quality, max_evaluations=args.max_evaluations,
+            timing=timing, executor=executor, cache=cache, trace=trace,
+        )
+        outcome = make_strategy(args.algorithm).run(evaluator)
+    finally:
+        executor.close()
+        if trace is not None:
+            trace.close()
     status = "timeout" if outcome.timed_out else ("ok" if outcome.found_solution else "none")
     print(f"{bench.name} / {outcome.strategy} @ {threshold:g}: {status}")
     print(f"  evaluated configurations: {outcome.evaluations}")
     print(f"  analysis time: {outcome.analysis_seconds / 3600.0:.2f} simulated hours")
+    stats = outcome.metadata.get("eval_stats") or {}
+    print(f"  evaluation: {format_eval_stats(stats)}")
     if outcome.found_solution:
         print(f"  speedup: {format_speedup(outcome.speedup)}")
         print(f"  quality: {format_quality(outcome.error_value)}")
         lowered = sorted(outcome.final.config.lowered_locations())
         print(f"  lowered variables ({len(lowered)}): {', '.join(lowered)}")
+    if args.save:
+        outcome.save(args.save)
+        print(f"  outcome saved to {args.save}")
     return 0
 
 
@@ -231,7 +301,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "analyze":
         return _cmd_analyze(args.benchmark, args.explain)
     if args.command == "run":
-        return _cmd_run(args.config, args.output_dir)
+        return _cmd_run(args)
     if args.command == "search":
         return _cmd_search(args)
     if args.command == "profile":

@@ -10,6 +10,9 @@ The harness is driven by a per-benchmark YAML file::
       threshold: 1.0e-6          # acceptance threshold
       runs: 10                   # timed runs per configuration
       time_limit_hours: 24       # simulated analysis budget
+      executor: process          # batch executor: serial/thread/process
+      workers: 4                 # worker count for thread/process
+      cache: true                # persistent evaluation cache on/off
       analysis:
         floatsmith:              # analysis id
           name: floatSmith       # plugin name in the registry
@@ -35,7 +38,10 @@ __all__ = ["AnalysisSpec", "HarnessConfig", "load_config", "parse_config"]
 _TOP_KEYS = {
     "benchmark", "build", "build_dir", "clean", "metric", "threshold",
     "runs", "time_limit_hours", "analysis", "args", "bin", "copy", "output",
+    "executor", "workers", "cache",
 }
+
+_EXECUTOR_NAMES = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,13 @@ class HarnessConfig:
     analyses: tuple[AnalysisSpec, ...] = ()
     build: tuple[str, ...] = ()
     clean: tuple[str, ...] = ()
+    #: batch executor (serial/thread/process); None inherits the
+    #: harness-wide choice
+    executor: str | None = None
+    #: worker count for thread/process executors; None inherits
+    workers: int | None = None
+    #: persistent evaluation cache toggle; None inherits
+    cache: bool | None = None
 
     def analysis(self, identifier: str) -> AnalysisSpec:
         for spec in self.analyses:
@@ -128,6 +141,28 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
             f"{source}: {name}: time_limit_hours must be a number"
         ) from None
 
+    executor = body.get("executor")
+    if executor is not None:
+        executor = str(executor).strip().lower()
+        if executor not in _EXECUTOR_NAMES:
+            raise HarnessConfigError(
+                f"{source}: {name}: executor must be one of "
+                f"{list(_EXECUTOR_NAMES)}, got {executor!r}"
+            )
+
+    workers = body.get("workers")
+    if workers is not None:
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise HarnessConfigError(
+                f"{source}: {name}: workers must be a positive integer"
+            )
+
+    cache = body.get("cache")
+    if cache is not None and not isinstance(cache, bool):
+        raise HarnessConfigError(
+            f"{source}: {name}: cache must be a boolean"
+        )
+
     analyses = []
     for identifier, spec in (body.get("analysis") or {}).items():
         if not isinstance(spec, Mapping) or "name" not in spec:
@@ -151,4 +186,7 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
         analyses=tuple(analyses),
         build=tuple(body.get("build") or ()),
         clean=tuple(body.get("clean") or ()),
+        executor=executor,
+        workers=workers,
+        cache=cache,
     )

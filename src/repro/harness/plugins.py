@@ -39,13 +39,23 @@ __all__ = [
 
 @dataclass
 class DeployedApp:
-    """A benchmark deployed by the harness, ready to be analysed."""
+    """A benchmark deployed by the harness, ready to be analysed.
+
+    The three optional fields carry the harness's execution services
+    down to the plugin's evaluator: a batch executor for parallel
+    configuration evaluation, a persistent evaluation cache, and a
+    trace writer for telemetry.  Plugins that ignore them keep the
+    original serial behaviour.
+    """
 
     benchmark: Benchmark
     quality: QualitySpec
     runs_per_config: int
     time_limit_seconds: float
     output_dir: Path
+    executor: Any = None
+    cache: Any = None
+    trace: Any = None
 
 
 @dataclass
@@ -89,6 +99,9 @@ class FloatSmithPlugin(AnalysisPlugin):
             quality=app.quality,
             time_limit_seconds=app.time_limit_seconds,
             max_evaluations=max_evaluations,
+            executor=app.executor,
+            cache=app.cache,
+            trace=app.trace,
         )
         strategy = make_strategy(algorithm, **strategy_kwargs)
         outcome = strategy.run(evaluator)

@@ -13,7 +13,34 @@ import math
 from pathlib import Path
 from typing import Any, Sequence
 
-__all__ = ["format_table", "write_csv", "format_quality", "format_speedup"]
+__all__ = [
+    "format_table", "write_csv", "format_quality", "format_speedup",
+    "format_eval_stats",
+]
+
+
+def format_eval_stats(stats: dict | None) -> str:
+    """One-line rendering of an ``eval_stats`` telemetry block.
+
+    ``fresh=12 hits=3 (20%) wall=1.24s [process x4]`` — fresh
+    executions, cache hits (memory + persistent) with their share of
+    all evaluations answered, real host seconds spent executing, and
+    the batch backend when it is not the serial default.
+    """
+    if not stats:
+        return "-"
+    fresh = stats.get("fresh_evaluations", 0)
+    hits = stats.get("cache_hits", 0)
+    total = fresh + hits
+    share = f" ({hits / total:.0%})" if total and hits else ""
+    parts = [f"fresh={fresh}", f"hits={hits}{share}"]
+    wall = stats.get("wall_seconds")
+    if wall is not None:
+        parts.append(f"wall={wall:.2f}s")
+    executor = stats.get("executor", "serial")
+    if executor != "serial":
+        parts.append(f"[{executor} x{stats.get('workers', 1)}]")
+    return " ".join(parts)
 
 
 def format_quality(value: float) -> str:

@@ -19,10 +19,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.benchmarks.base import Benchmark, get_benchmark
+from repro.core.batch import make_executor
 from repro.core.evaluator import measured_seconds
+from repro.core.telemetry import TraceWriter
 from repro.core.types import PrecisionConfig
 from repro.harness.config import HarnessConfig, load_config
 from repro.harness.plugins import AnalysisResult, DeployedApp, get_plugin
+from repro.runtime.cache import EvaluationCache
 from repro.verify.quality import QualitySpec
 
 __all__ = ["AnalysisReport", "HarnessReport", "Harness"]
@@ -43,6 +46,8 @@ class AnalysisReport:
     speedup: float = math.nan
     error_value: float = math.nan
     config: PrecisionConfig | None = None
+    #: the evaluator's telemetry block (see repro.core.telemetry)
+    eval_stats: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -57,10 +62,40 @@ class HarnessReport:
 
 
 class Harness:
-    """Deploys benchmarks and runs configured analyses on them."""
+    """Deploys benchmarks and runs configured analyses on them.
 
-    def __init__(self, output_dir: str | Path = "results") -> None:
+    Parameters
+    ----------
+    output_dir:
+        Root for artifacts, traces and the evaluation cache.
+    executor / workers:
+        Default batch-execution backend handed to analyses
+        (``serial``/``thread``/``process``); per-entry YAML keys
+        override it.
+    use_cache:
+        Persistent evaluation cache toggle (default on; per-entry
+        ``cache:`` overrides).  The cache lives under
+        ``<output_dir>/cache/`` unless ``cache_dir`` points elsewhere.
+    trace:
+        When true, each entry writes a JSON-lines telemetry trace to
+        ``<output_dir>/<entry>/trace.jsonl``.
+    """
+
+    def __init__(
+        self,
+        output_dir: str | Path = "results",
+        executor: str = "serial",
+        workers: int | None = None,
+        use_cache: bool = True,
+        cache_dir: str | Path | None = None,
+        trace: bool = False,
+    ) -> None:
         self.output_dir = Path(output_dir)
+        self.executor = executor
+        self.workers = workers
+        self.use_cache = use_cache
+        self.cache_dir = Path(cache_dir) if cache_dir else self.output_dir / "cache"
+        self.trace = trace
 
     def run_file(self, path: str | Path) -> list[HarnessReport]:
         """Run every entry of a YAML configuration file."""
@@ -77,19 +112,37 @@ class Harness:
             threshold=quality.threshold,
         )
         bench.inputs()  # "build": generate inputs / data files
+        executor = make_executor(
+            entry.executor or self.executor,
+            entry.workers if entry.workers is not None else self.workers,
+        )
+        cache_on = entry.cache if entry.cache is not None else self.use_cache
+        cache = EvaluationCache(self.cache_dir) if cache_on else None
+        trace = (
+            TraceWriter(self.output_dir / entry.name / "trace.jsonl")
+            if self.trace else None
+        )
         app = DeployedApp(
             benchmark=bench,
             quality=quality,
             runs_per_config=entry.runs or bench.runs_per_config,
             time_limit_seconds=entry.time_limit_hours * 3600.0,
             output_dir=self.output_dir / entry.name,
+            executor=executor,
+            cache=cache,
+            trace=trace,
         )
-        for spec in entry.analyses:
-            plugin = get_plugin(spec.plugin)
-            result = plugin.analysis(app, **dict(spec.extra_args))
-            report.analyses.append(
-                self._verify(spec.identifier, spec.plugin, bench, quality, result)
-            )
+        try:
+            for spec in entry.analyses:
+                plugin = get_plugin(spec.plugin)
+                result = plugin.analysis(app, **dict(spec.extra_args))
+                report.analyses.append(
+                    self._verify(spec.identifier, spec.plugin, bench, quality, result)
+                )
+        finally:
+            executor.close()
+            if trace is not None:
+                trace.close()
         return report
 
     @staticmethod
@@ -119,6 +172,7 @@ class Harness:
             analysis_hours=outcome.analysis_seconds / 3600.0,
             timed_out=outcome.timed_out,
             found_solution=outcome.found_solution,
+            eval_stats=dict(outcome.metadata.get("eval_stats") or {}),
         )
         if not outcome.found_solution:
             return report

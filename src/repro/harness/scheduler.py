@@ -16,11 +16,14 @@ from __future__ import annotations
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.benchmarks.base import get_benchmark
+from repro.core.batch import make_executor
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.results import SearchOutcome
+from repro.runtime.cache import EvaluationCache
 from repro.search.registry import canonical_name, make_strategy
 from repro.verify.quality import QualitySpec
 
@@ -31,7 +34,14 @@ _DEFAULT_TIME_LIMIT = 24 * 3600.0
 
 @dataclass(frozen=True)
 class SearchJob:
-    """One (program, algorithm, threshold) analysis to schedule."""
+    """One (program, algorithm, threshold) analysis to schedule.
+
+    ``executor``/``executor_workers`` select the *intra-job* batch
+    backend (how one search evaluates its configuration batches);
+    the ``workers`` argument of :func:`run_grid` remains the
+    *inter-job* parallelism.  ``cache_dir`` attaches a persistent
+    evaluation cache shared by every job that names the same path.
+    """
 
     program: str
     algorithm: str
@@ -39,6 +49,9 @@ class SearchJob:
     metric: str | None = None
     time_limit_seconds: float = _DEFAULT_TIME_LIMIT
     max_evaluations: int | None = None
+    executor: str = "serial"
+    executor_workers: int | None = None
+    cache_dir: str | None = None
 
     def label(self) -> str:
         return f"{self.program}/{canonical_name(self.algorithm)}@{self.threshold:g}"
@@ -63,6 +76,9 @@ def grid_jobs(
     thresholds: Sequence[float],
     time_limit_seconds: float = _DEFAULT_TIME_LIMIT,
     max_evaluations: int | None = None,
+    executor: str = "serial",
+    executor_workers: int | None = None,
+    cache_dir: str | Path | None = None,
 ) -> list[SearchJob]:
     """The full cross product the paper's evaluation runs."""
     return [
@@ -72,6 +88,9 @@ def grid_jobs(
             threshold=threshold,
             time_limit_seconds=time_limit_seconds,
             max_evaluations=max_evaluations,
+            executor=executor,
+            executor_workers=executor_workers,
+            cache_dir=str(cache_dir) if cache_dir else None,
         )
         for program in programs
         for algorithm in algorithms
@@ -83,14 +102,21 @@ def _run_job(job: SearchJob) -> JobResult:
     try:
         bench = get_benchmark(job.program)
         quality = QualitySpec(job.metric or bench.metric, job.threshold)
-        evaluator = ConfigurationEvaluator(
-            bench,
-            quality=quality,
-            time_limit_seconds=job.time_limit_seconds,
-            max_evaluations=job.max_evaluations,
-        )
-        strategy = make_strategy(job.algorithm)
-        return JobResult(job=job, outcome=strategy.run(evaluator))
+        batch_executor = make_executor(job.executor, job.executor_workers)
+        cache = EvaluationCache(job.cache_dir) if job.cache_dir else None
+        try:
+            evaluator = ConfigurationEvaluator(
+                bench,
+                quality=quality,
+                time_limit_seconds=job.time_limit_seconds,
+                max_evaluations=job.max_evaluations,
+                executor=batch_executor,
+                cache=cache,
+            )
+            strategy = make_strategy(job.algorithm)
+            return JobResult(job=job, outcome=strategy.run(evaluator))
+        finally:
+            batch_executor.close()
     except Exception:  # noqa: BLE001 — a failed job must not sink the grid
         return JobResult(job=job, error=traceback.format_exc())
 

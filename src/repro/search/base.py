@@ -47,6 +47,12 @@ class SearchStrategy(ABC):
             timed_out = True
 
         final = self._resolve_final(evaluator, final_config, timed_out)
+        metadata = self.describe()
+        # Telemetry rides along in metadata: counters only, so two runs
+        # of the same search stay comparable by stripping this one key.
+        evaluator.stats.labels.setdefault("strategy", self.strategy_name)
+        evaluator.stats.labels.setdefault("program", evaluator.program.name)
+        metadata["eval_stats"] = evaluator.stats.as_dict()
         return SearchOutcome(
             strategy=self.strategy_name,
             program=evaluator.program.name,
@@ -56,7 +62,7 @@ class SearchStrategy(ABC):
             analysis_seconds=evaluator.analysis_seconds,
             timed_out=timed_out,
             trials=list(evaluator.trials),
-            metadata=self.describe(),
+            metadata=metadata,
         )
 
     def describe(self) -> dict:

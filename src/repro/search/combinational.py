@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from itertools import combinations, product
 
+from repro.core.batch import DEFAULT_BATCH_SIZE, chunked
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.types import Precision, PrecisionConfig
 from repro.search.base import SearchStrategy
@@ -35,16 +36,33 @@ class CombinationalSearch(SearchStrategy):
         max_locations: int = 24,
         levels: tuple[Precision, ...] | None = None,
         max_configurations: int = 4096,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         """``max_locations`` guards against accidentally launching an
         intractable 2^n enumeration; the budget would stop it anyway,
         but failing fast is kinder.  Passing ``levels`` (e.g.
         ``(Precision.HALF, Precision.SINGLE, Precision.DOUBLE)``)
         switches to the full multi-level ``p ** loc`` enumeration,
-        bounded by ``max_configurations``."""
+        bounded by ``max_configurations``.  The enumeration is consumed
+        in ``batch_size`` chunks through the evaluator's batch API, so
+        a parallel executor can overlap the independent executions."""
         self.max_locations = max_locations
         self.levels = tuple(levels) if levels else None
         self.max_configurations = max_configurations
+        self.batch_size = batch_size
+
+    def _best_of(self, evaluator: ConfigurationEvaluator, configs):
+        """Chunked evaluation of an enumeration stream, keeping the
+        fastest passing configuration (first wins ties, like the
+        serial loop did)."""
+        best: PrecisionConfig | None = None
+        best_speedup = float("-inf")
+        for chunk in chunked(configs, self.batch_size):
+            for trial in evaluator.evaluate_many(chunk):
+                if trial.passed and trial.speedup > best_speedup:
+                    best = trial.config
+                    best_speedup = trial.speedup
+        return best
 
     def describe(self) -> dict:
         info = super().describe()
@@ -64,15 +82,12 @@ class CombinationalSearch(SearchStrategy):
         if self.levels:
             return self._search_multilevel(evaluator, space, locations)
 
-        best: PrecisionConfig | None = None
-        best_speedup = float("-inf")
-        for size in range(len(locations), 0, -1):
-            for subset in combinations(locations, size):
-                trial = evaluator.evaluate(self._lower(space, subset))
-                if trial.passed and trial.speedup > best_speedup:
-                    best = trial.config
-                    best_speedup = trial.speedup
-        return best
+        configs = (
+            self._lower(space, subset)
+            for size in range(len(locations), 0, -1)
+            for subset in combinations(locations, size)
+        )
+        return self._best_of(evaluator, configs)
 
     def _search_multilevel(self, evaluator, space, locations) -> PrecisionConfig | None:
         """The full p**loc enumeration of the paper's Section II."""
@@ -88,14 +103,9 @@ class CombinationalSearch(SearchStrategy):
             product(levels, repeat=len(locations)),
             key=lambda combo: sum(p.bits for p in combo),  # aggressive first
         )
-        best: PrecisionConfig | None = None
-        best_speedup = float("-inf")
-        for combo in assignments:
-            if all(p is Precision.DOUBLE for p in combo):
-                continue  # the unchanged program
-            config = space.config_from_choices(dict(zip(locations, combo)))
-            trial = evaluator.evaluate(config)
-            if trial.passed and trial.speedup > best_speedup:
-                best = trial.config
-                best_speedup = trial.speedup
-        return best
+        configs = (
+            space.config_from_choices(dict(zip(locations, combo)))
+            for combo in assignments
+            if not all(p is Precision.DOUBLE for p in combo)  # skip unchanged
+        )
+        return self._best_of(evaluator, configs)

@@ -98,6 +98,16 @@ class GeneticSearch(SearchStrategy):
             trial = evaluator.evaluate(to_config(genome))
             return fitness(trial), trial
 
+        def evaluate_population(genomes) -> list[tuple[float, TrialRecord | None]]:
+            # A generation is embarrassingly parallel: fan the raw
+            # executions out first, then score serially (the replayed
+            # bookkeeping keeps the trial log identical to one-by-one
+            # evaluation).
+            evaluator.prefetch(
+                to_config(genome) for genome in genomes if genome.any()
+            )
+            return [evaluate_genome(genome) for genome in genomes]
+
         # Random initial population with graded density plus a few
         # random singletons: sparse individuals are far more likely to
         # be valid on fragile programs, dense ones capture wholesale
@@ -125,7 +135,7 @@ class GeneticSearch(SearchStrategy):
             if genome is None:
                 genome = rng.random(n) < (i + 1) / (self.population_size + 1)
             population.append(genome)
-        scored = [evaluate_genome(genome) for genome in population]
+        scored = evaluate_population(population)
 
         best_trial: TrialRecord | None = None
         best_passing_fitness = float("-inf")
@@ -151,7 +161,7 @@ class GeneticSearch(SearchStrategy):
             population = self._next_generation(
                 population, scored, rng, n, next_singleton,
             )
-            scored = [evaluate_genome(genome) for genome in population]
+            scored = evaluate_population(population)
 
         # Final sweep over the last generation.
         for (fit, trial) in scored:

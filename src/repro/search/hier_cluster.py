@@ -105,6 +105,18 @@ class ClusterHierarchicalSearch(SearchStrategy):
             trial = evaluator.evaluate(self._lower(space, sorted(candidate)))
             return trial.passed
 
+        def prefetch_children(node: HierarchyNode) -> None:
+            # Same speculative sibling batch as HR (see hierarchical.py):
+            # staged executions are consumed by the serial walk, so the
+            # trial log is identical to the unbatched descent.
+            if len(node.children) < 2:
+                return
+            evaluator.prefetch(
+                self._lower(space, sorted(converted | pending))
+                for child in node.children
+                if (pending := child.variables - converted)
+            )
+
         def visit(node: HierarchyNode) -> None:
             pending = node.variables - converted
             if not pending:
@@ -112,6 +124,7 @@ class ClusterHierarchicalSearch(SearchStrategy):
             if try_group(pending):
                 converted.update(pending)
                 return
+            prefetch_children(node)
             for child in node.children:
                 visit(child)
 

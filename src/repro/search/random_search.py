@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batch import DEFAULT_BATCH_SIZE, chunked
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.types import PrecisionConfig
 from repro.search.base import SearchStrategy
@@ -23,11 +24,15 @@ class RandomSearch(SearchStrategy):
 
     strategy_name = "random"
 
-    def __init__(self, budget: int = 30, seed: int = 2020) -> None:
+    def __init__(
+        self, budget: int = 30, seed: int = 2020,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
         if budget < 1:
             raise ValueError("budget must be positive")
         self.budget = budget
         self.seed = seed
+        self.batch_size = batch_size
 
     def describe(self) -> dict:
         info = super().describe()
@@ -40,10 +45,11 @@ class RandomSearch(SearchStrategy):
         n = len(locations)
         rng = np.random.default_rng(self.seed)
 
-        best: PrecisionConfig | None = None
-        best_speedup = float("-inf")
-        attempts = 0
-        while attempts < self.budget:
+        # The rng stream is independent of evaluation results, so the
+        # whole sample can be drawn up front (the exact draws the
+        # serial loop would make) and evaluated in batches.
+        samples: list[PrecisionConfig] = []
+        while len(samples) < self.budget:
             # density-stratified sampling: otherwise nearly every draw
             # lowers ~n/2 locations and the sparse/dense extremes are
             # never seen
@@ -51,10 +57,14 @@ class RandomSearch(SearchStrategy):
             mask = rng.random(n) < density
             if not mask.any():
                 continue
-            attempts += 1
             lowered = [loc for loc, bit in zip(locations, mask) if bit]
-            trial = evaluator.evaluate(self._lower(space, lowered))
-            if trial.passed and trial.speedup > best_speedup:
-                best = trial.config
-                best_speedup = trial.speedup
+            samples.append(self._lower(space, lowered))
+
+        best: PrecisionConfig | None = None
+        best_speedup = float("-inf")
+        for chunk in chunked(samples, self.batch_size):
+            for trial in evaluator.evaluate_many(chunk):
+                if trial.passed and trial.speedup > best_speedup:
+                    best = trial.config
+                    best_speedup = trial.speedup
         return best

@@ -11,7 +11,6 @@ from repro.core.results import EvaluationStatus
 from repro.core.types import Precision, PrecisionConfig
 from repro.core.variables import Granularity
 from repro.errors import MixPBenchError, SearchBudgetExceeded
-from repro.verify.quality import QualitySpec
 
 
 def make_evaluator(**kwargs):

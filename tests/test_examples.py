@@ -22,7 +22,8 @@ def _run(name: str, tmp_path) -> str:
         [sys.executable, str(EXAMPLES_DIR / name)],
         capture_output=True, text=True, timeout=600,
         env={"PATH": "/usr/bin:/bin", "MIXPBENCH_DATA": str(tmp_path),
-             "HOME": str(tmp_path)},
+             "HOME": str(tmp_path),
+             "PYTHONPATH": str(EXAMPLES_DIR.parent / "src")},
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout

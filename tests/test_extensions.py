@@ -2,8 +2,6 @@
 hierarchical strategy (HRC) and half-precision targeting."""
 
 import numpy as np
-import pytest
-
 from helpers import ToyProgram
 
 from repro.core.evaluator import ConfigurationEvaluator

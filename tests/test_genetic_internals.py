@@ -1,8 +1,6 @@
 """White-box tests of the genetic algorithm's machinery."""
 
 import numpy as np
-import pytest
-
 from helpers import ToyProgram
 
 from repro.core.evaluator import ConfigurationEvaluator

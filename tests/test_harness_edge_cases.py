@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.harness.config import parse_config
 from repro.harness.runner import Harness
 from repro.harness.scheduler import SearchJob, run_grid

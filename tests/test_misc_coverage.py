@@ -1,8 +1,6 @@
 """Miscellaneous coverage: experiment helpers, errors hierarchy,
 kernel input-scaling, and the remaining small surfaces."""
 
-import math
-
 import pytest
 
 from repro import errors

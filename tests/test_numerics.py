@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.benchmarks.base import get_benchmark
-from repro.core.types import Precision, PrecisionConfig
+from repro.core.types import PrecisionConfig
 from repro.runtime.memory import Workspace
 
 

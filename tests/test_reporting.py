@@ -1,8 +1,6 @@
 """Tests for table/CSV rendering."""
 
 import csv
-import math
-
 from repro.harness.reporting import (
     format_quality, format_speedup, format_table, write_csv,
 )

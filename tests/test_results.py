@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.core.results import EvaluationStatus, SearchOutcome, TrialRecord
 from repro.core.types import Precision, PrecisionConfig
 

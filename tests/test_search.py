@@ -6,7 +6,6 @@ from helpers import ToyProgram
 
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.results import EvaluationStatus
-from repro.core.types import Precision
 from repro.core.variables import Granularity
 from repro.search import (
     CombinationalSearch,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.variables import VariableKind
 from repro.errors import StyleError
 from repro.typeforge import analyze_sources, scan_source
 from repro.typeforge.dependence import UnionFind
