@@ -31,6 +31,7 @@ from repro.errors import BenchmarkNotFound
 from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
 from repro.runtime.memory import Workspace
 from repro.runtime.mparray import unwrap
+from repro.runtime.rngcache import RNGReplayCache
 from repro.typeforge import TypeforgeReport, analyze
 from repro.verify.quality import QualitySpec
 
@@ -38,6 +39,7 @@ __all__ = [
     "Benchmark", "KernelBenchmark", "ApplicationBenchmark",
     "register_benchmark", "get_benchmark", "available_benchmarks",
     "kernel_benchmarks", "application_benchmarks", "collect_output",
+    "clear_process_caches",
 ]
 
 
@@ -97,6 +99,39 @@ class Benchmark(ABC):
         self.machine = machine
         self._report: TypeforgeReport | None = None
         self._inputs: dict[str, Any] | None = None
+        self._state: dict | None = None
+        self._entry: Callable | None = None
+
+    def inputs_fingerprint(self) -> tuple:
+        """Key identifying one deterministic input set.
+
+        Everything that changes what :meth:`setup` produces is folded
+        in: the concrete benchmark class, the input seed, and the data
+        directory root (``MIXPBENCH_DATA``) that file-driven
+        applications write their generated inputs under.  Executions
+        sharing a fingerprint share inputs and the recorded RNG draw
+        stream; changing any component gives a cold cache entry, never
+        a stale replay.
+        """
+        cls = type(self)
+        return (
+            f"{cls.__module__}.{cls.__qualname__}",
+            self.name,
+            self.seed,
+            os.environ.get("MIXPBENCH_DATA", ""),
+        )
+
+    def _shared_state(self) -> dict:
+        """Per-process cache slot for this fingerprint (inputs, report,
+        RNG replay stream) shared across benchmark instances."""
+        state = self._state
+        if state is None:
+            key = self.inputs_fingerprint()
+            state = _PROCESS_STATE.get(key)
+            if state is None:
+                state = _PROCESS_STATE[key] = {"rng": RNGReplayCache()}
+            self._state = state
+        return state
 
     # -- to implement -------------------------------------------------------
     @abstractmethod
@@ -118,17 +153,36 @@ class Benchmark(ABC):
         return [importlib.import_module(n) for n in names]
 
     def report(self) -> TypeforgeReport:
-        """Typeforge analysis of this benchmark (cached)."""
+        """Typeforge analysis of this benchmark (cached per process —
+        the analysis is a pure function of the benchmark's modules)."""
         if self._report is None:
-            self._report = analyze(self.modules(), entry=self.entry, program=self.name)
+            state = self._shared_state()
+            report = state.get("report")
+            if report is None:
+                report = state["report"] = analyze(
+                    self.modules(), entry=self.entry, program=self.name
+                )
+            self._report = report
         return self._report
 
     def search_space(self, granularity: Granularity = Granularity.CLUSTER) -> SearchSpace:
         return self.report().search_space(granularity)
 
     def inputs(self) -> dict[str, Any]:
+        """Deterministic inputs, generated once per process.
+
+        :meth:`setup` output is precision-agnostic (plain fp64 arrays,
+        sizes, file paths) and a pure function of the inputs
+        fingerprint, so fresh benchmark instances — one per trial in
+        the harness's fresh-execution path — share a single generation
+        instead of re-rolling RNG state and rewriting input files.
+        """
         if self._inputs is None:
-            self._inputs = self.setup()
+            state = self._shared_state()
+            inputs = state.get("inputs")
+            if inputs is None:
+                inputs = state["inputs"] = self.setup()
+            self._inputs = inputs
         return self._inputs
 
     def data_dir(self) -> Path:
@@ -142,7 +196,12 @@ class Benchmark(ABC):
         return path
 
     def entry_point(self) -> Callable:
-        return getattr(importlib.import_module(self.module_name), self.entry)
+        entry = self._entry
+        if entry is None:
+            entry = self._entry = getattr(
+                importlib.import_module(self.module_name), self.entry
+            )
+        return entry
 
     def execute(
         self,
@@ -151,7 +210,13 @@ class Benchmark(ABC):
     ) -> ExecutionResult:
         """Run under ``config``: same inputs, same seed, only the
         precision assignment differs between executions."""
-        ws = Workspace(config, name_map=self.report().name_map, seed=self.seed)
+        report = self._report if self._report is not None else self.report()
+        ws = Workspace(
+            config,
+            name_map=report.name_map,
+            seed=self.seed,
+            rng_cache=self._shared_state()["rng"],
+        )
         raw = self.entry_point()(ws, **(inputs if inputs is not None else self.inputs()))
         output = collect_output(raw)
         return ExecutionResult(
@@ -192,6 +257,17 @@ class ApplicationBenchmark(Benchmark):
     nominal_seconds = 5.0
     compile_seconds = 20.0
     default_threshold = 1e-6
+
+
+#: per-process shared state: inputs fingerprint -> {"inputs", "report",
+#: "rng"}.  See :meth:`Benchmark.inputs_fingerprint` for the
+#: invalidation rule.
+_PROCESS_STATE: dict[tuple, dict] = {}
+
+
+def clear_process_caches() -> None:
+    """Drop all per-process benchmark state (tests, long-lived servers)."""
+    _PROCESS_STATE.clear()
 
 
 _REGISTRY: dict[str, type[Benchmark]] = {}

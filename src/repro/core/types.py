@@ -117,6 +117,18 @@ _ALIASES: dict[str, Precision] = {
 }
 
 
+def _as_precision(value, where: str) -> Precision:
+    """Coerce a user-facing precision spec — a :class:`Precision` or any
+    name :meth:`Precision.from_name` understands (``"fp32"``,
+    ``"double"``, ``"half"``, ``"32"``) — to a :class:`Precision`."""
+    if isinstance(value, str):
+        return Precision.from_name(value)
+    raise TypeError(
+        f"precision for {where!r} must be a Precision or a precision "
+        f"name string, got {type(value).__name__}"
+    )
+
+
 class PrecisionConfig(Mapping[str, Precision]):
     """An immutable mapping from location names to precision levels.
 
@@ -130,16 +142,15 @@ class PrecisionConfig(Mapping[str, Precision]):
 
     def __init__(
         self,
-        assignments: Mapping[str, Precision] | Iterable[tuple[str, Precision]] = (),
-        default: Precision = Precision.DOUBLE,
+        assignments: Mapping[str, Precision | str] | Iterable[tuple[str, Precision | str]] = (),
+        default: Precision | str = Precision.DOUBLE,
     ) -> None:
+        if not isinstance(default, Precision):
+            default = _as_precision(default, "default")
         items = dict(assignments)
         for location, precision in items.items():
             if not isinstance(precision, Precision):
-                raise TypeError(
-                    f"precision for {location!r} must be a Precision, "
-                    f"got {type(precision).__name__}"
-                )
+                items[location] = _as_precision(precision, location)
         # Assignments equal to the default are redundant; dropping them
         # makes equality and hashing canonical.
         self._assignments = {
@@ -190,8 +201,10 @@ class PrecisionConfig(Mapping[str, Precision]):
         return f"PrecisionConfig({{{body}}}, default={self._default.value})"
 
     # -- derivation ------------------------------------------------------
-    def assign(self, locations: Iterable[str] | str, precision: Precision) -> "PrecisionConfig":
+    def assign(self, locations: Iterable[str] | str, precision: Precision | str) -> "PrecisionConfig":
         """Return a new configuration with ``locations`` set to ``precision``."""
+        if not isinstance(precision, Precision):
+            precision = _as_precision(precision, "precision")
         if isinstance(locations, str):
             locations = (locations,)
         merged = dict(self._assignments)

@@ -217,8 +217,14 @@ class SearchSpace:
                 assignments[location] = precision
         return PrecisionConfig(assignments)
 
-    def uniform_config(self, precision: Precision) -> PrecisionConfig:
-        """Every variable at ``precision`` (e.g. the all-single program)."""
+    def uniform_config(self, precision: Precision | str) -> PrecisionConfig:
+        """Every variable at ``precision`` (e.g. the all-single program).
+
+        Accepts a :class:`Precision` or any name
+        :meth:`Precision.from_name` understands (``"fp32"``, ``"half"``).
+        """
+        if not isinstance(precision, Precision):
+            precision = Precision.from_name(precision)
         return PrecisionConfig({uid: precision for uid in self._variables})
 
     def lower(self, locations: Iterable[str] | str, precision: Precision = Precision.SINGLE) -> PrecisionConfig:

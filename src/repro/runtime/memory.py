@@ -20,16 +20,23 @@ live array footprint that drives the machine model's cache tiering.
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Mapping
 
 import numpy as np
 
 from repro.core.types import Precision, PrecisionConfig
 from repro.errors import MixPBenchError, UnknownVariableError
+from repro.runtime import mparray as _mparray
 from repro.runtime.mparray import MPArray, unwrap
 from repro.runtime.profiler import Profile
+from repro.runtime.rngcache import ReplayGenerator, RNGReplayCache
 
 __all__ = ["Workspace"]
+
+#: diagnostic counter: number of init-copy elisions performed (see
+#: :meth:`Workspace.array`); read by tests, never reset automatically.
+_ELISIONS = 0
 
 
 class Workspace:
@@ -52,6 +59,11 @@ class Workspace:
         When true, looking up a variable that the name map does not
         know raises :class:`UnknownVariableError`; when false the bare
         name is used as the uid (handy for ad-hoc experimentation).
+    rng_cache:
+        Optional :class:`~repro.runtime.rngcache.RNGReplayCache`.  When
+        provided, ``ws.rng`` replays the recorded deterministic draw
+        stream instead of regenerating it — the same values, paid once
+        per process instead of once per trial.
     """
 
     def __init__(
@@ -60,13 +72,22 @@ class Workspace:
         name_map: Mapping[str, str] | None = None,
         seed: int = 0,
         strict: bool = False,
+        rng_cache: RNGReplayCache | None = None,
     ) -> None:
         self.config = config if config is not None else PrecisionConfig()
-        self._name_map = dict(name_map) if name_map else {}
+        # Kept by reference, not copied: one workspace is built per
+        # trial and the Typeforge name map it receives is immutable in
+        # practice; a defensive copy of a ~100-entry dict per trial is
+        # measurable on the small kernels.
+        self._name_map: Mapping[str, str] = name_map if name_map is not None else {}
         self.profile = Profile()
-        self.rng = np.random.default_rng(seed)
+        if rng_cache is not None:
+            self.rng: Any = ReplayGenerator(seed, rng_cache)
+        else:
+            self.rng = np.random.default_rng(seed)
         self._arrays: dict[str, MPArray] = {}
         self._strict = strict
+        self._dtypes: dict[str, np.dtype] = {}
 
     # -- name resolution ---------------------------------------------------
     def resolve(self, name: str) -> str:
@@ -83,7 +104,14 @@ class Workspace:
         return self.config.precision_of(self.resolve(name))
 
     def dtype_of(self, name: str) -> np.dtype:
-        return self.precision_of(name).dtype
+        # Hot path: every ws.array/scalar/param call resolves a dtype,
+        # and the (name -> dtype) binding is fixed for the lifetime of
+        # a workspace, so resolve each name once.
+        try:
+            return self._dtypes[name]
+        except KeyError:
+            dtype = self._dtypes[name] = self.precision_of(name).dtype
+            return dtype
 
     # -- declarations --------------------------------------------------------
     def array(
@@ -107,19 +135,61 @@ class Workspace:
             # kernel writes `x[i] = (float)f(i)` directly), so the
             # conversion is not charged as a runtime cast; file-driven
             # conversions go through mp_fread, which does charge it.
-            source = np.asarray(unwrap(init))
-            data = source.astype(dtype)
+            #
+            # When ``init`` is a provably-dead temporary of the right
+            # dtype — an expression result nothing else references —
+            # the defensive copy is elided and the temporary's buffer
+            # adopted outright, the Python analogue of NumPy's own
+            # temporary elision (a C kernel writing `x[i] = f(i)`
+            # allocates once, not twice).  The refcount thresholds are
+            # exact for a direct ``ws.array(..., init=<expression>)``
+            # call; anything bound to a name, viewing other storage,
+            # read-only (the RNG replay and mp_fread caches), or held
+            # by a debugger scores higher and takes the copy, so a
+            # missed elision is only ever a missed optimisation.
+            global _ELISIONS
+            if type(init) is MPArray:
+                source = init._data
+                if (
+                    _mparray._FAST_MODE
+                    and source.dtype == dtype
+                    and source.base is None
+                    and source.flags.writeable
+                    and sys.getrefcount(init) == 2
+                    and sys.getrefcount(source) == 3
+                ):
+                    data = source
+                    _ELISIONS += 1
+                else:
+                    data = source.astype(dtype)
+            elif type(init) is np.ndarray:
+                if (
+                    _mparray._FAST_MODE
+                    and init.dtype == dtype
+                    and init.base is None
+                    and init.flags.writeable
+                    and sys.getrefcount(init) == 2
+                ):
+                    data = init
+                    _ELISIONS += 1
+                else:
+                    data = init.astype(dtype)
+            else:
+                data = np.asarray(unwrap(init)).astype(dtype)
         else:
             if fill is not None:
                 data = np.full(shape, fill, dtype=dtype)
             else:
                 data = np.zeros(shape, dtype=dtype)
-        arr = MPArray(data, self.profile)
+        profile = self.profile
+        arr = MPArray.__new__(MPArray)
+        arr._data = data
+        arr._profile = profile
         previous = self._arrays.get(name)
         if previous is not None:
-            self.profile.track_free(previous.nbytes)
+            profile.track_free(previous.nbytes)
         self._arrays[name] = arr
-        self.profile.track_alloc(arr.nbytes)
+        profile.track_alloc(data.nbytes)
         return arr
 
     def scalar(self, name: str, value: float) -> np.generic:

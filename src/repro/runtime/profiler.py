@@ -15,7 +15,6 @@ class, compute dtype)* bucket, plus global counters for casts, gathers
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 
 __all__ = ["OpClass", "Profile", "UFUNC_OPCLASS", "opclass_for_ufunc"]
 
@@ -40,6 +39,12 @@ class OpClass(enum.Enum):
     TRANS = "trans"
     MOVE = "move"
     INT = "int"
+
+    # Enum's default __hash__ re-hashes the member *name* string on
+    # every dict probe — and every recorded op probes the ops dict with
+    # an (OpClass, dtype) key.  Members are singletons, so the identity
+    # hash is equivalent and C-fast.
+    __hash__ = object.__hash__
 
 
 _CHEAP_UFUNCS = {
@@ -80,23 +85,70 @@ def opclass_for_ufunc(name: str, compute_kind: str) -> OpClass:
     return UFUNC_OPCLASS.get(name, OpClass.CHEAP)
 
 
-@dataclass
 class Profile:
     """Aggregated operation counts for one benchmark execution.
 
     All counters are plain floats/ints so profiles stay cheap to merge;
     ``ops`` maps ``(OpClass, dtype_str)`` to element-operation counts.
+
+    Recording sits on the instrumentation hot path — one call per NumPy
+    operation of every trial — so the class is slotted and the record
+    methods are straight-line dict/float accumulation with no argument
+    massaging; all classification work (op class, dtype naming, cast
+    detection) happens in the caller, once per unique operation
+    signature (see :mod:`repro.runtime.mparray`).
     """
 
-    ops: dict[tuple[OpClass, str], float] = field(default_factory=dict)
-    bytes_read: float = 0.0
-    bytes_written: float = 0.0
-    cast_elements: float = 0.0
-    gather_elements: float = 0.0
-    ufunc_calls: int = 0
-    io_bytes: float = 0.0
-    peak_footprint: int = 0
-    _live_footprint: int = field(default=0, repr=False)
+    __slots__ = (
+        "ops", "bytes_read", "bytes_written", "cast_elements",
+        "gather_elements", "ufunc_calls", "io_bytes", "peak_footprint",
+        "_live_footprint",
+    )
+
+    def __init__(
+        self,
+        ops: dict[tuple[OpClass, str], float] | None = None,
+        bytes_read: float = 0.0,
+        bytes_written: float = 0.0,
+        cast_elements: float = 0.0,
+        gather_elements: float = 0.0,
+        ufunc_calls: int = 0,
+        io_bytes: float = 0.0,
+        peak_footprint: int = 0,
+    ) -> None:
+        self.ops = {} if ops is None else dict(ops)
+        self.bytes_read = bytes_read
+        self.bytes_written = bytes_written
+        self.cast_elements = cast_elements
+        self.gather_elements = gather_elements
+        self.ufunc_calls = ufunc_calls
+        self.io_bytes = io_bytes
+        self.peak_footprint = peak_footprint
+        self._live_footprint = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Profile(ops={self.ops!r}, bytes_read={self.bytes_read!r}, "
+            f"bytes_written={self.bytes_written!r}, "
+            f"cast_elements={self.cast_elements!r}, "
+            f"gather_elements={self.gather_elements!r}, "
+            f"ufunc_calls={self.ufunc_calls!r}, io_bytes={self.io_bytes!r}, "
+            f"peak_footprint={self.peak_footprint!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Profile):
+            return NotImplemented
+        return (
+            self.ops == other.ops
+            and self.bytes_read == other.bytes_read
+            and self.bytes_written == other.bytes_written
+            and self.cast_elements == other.cast_elements
+            and self.gather_elements == other.gather_elements
+            and self.ufunc_calls == other.ufunc_calls
+            and self.io_bytes == other.io_bytes
+            and self.peak_footprint == other.peak_footprint
+        )
 
     def record_op(
         self,
@@ -110,6 +162,25 @@ class Profile:
         """Record ``n`` element-operations of class ``opclass``."""
         key = (opclass, dtype)
         self.ops[key] = self.ops.get(key, 0.0) + n
+        self.bytes_read += bytes_read
+        self.bytes_written += bytes_written
+        self.cast_elements += casts
+        self.ufunc_calls += 1
+
+    def record_op_keyed(
+        self,
+        key: tuple[OpClass, str],
+        n: float,
+        bytes_read: float,
+        bytes_written: float,
+        casts: float,
+    ) -> None:
+        """Fast-path :meth:`record_op`: the ``(opclass, dtype)`` bucket
+        key is precomputed (and interned) by the caller's signature
+        cache, so one dict accumulation replaces tuple construction and
+        dtype-name formatting.  Counter semantics are identical."""
+        ops = self.ops
+        ops[key] = ops.get(key, 0.0) + n
         self.bytes_read += bytes_read
         self.bytes_written += bytes_written
         self.cast_elements += casts

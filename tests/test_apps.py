@@ -59,6 +59,18 @@ class TestPaperBehaviours:
         assert not np.all(np.isfinite(single.output))
         assert math.isnan(mae(base.output, single.output))
 
+    def test_srad_emits_no_runtime_warnings(self, data_env):
+        """inf/NaN is SRAD's *expected* low-precision behaviour and den
+        hits zero even at double: neither may leak RuntimeWarnings."""
+        import warnings
+
+        bench = get_benchmark("srad")
+        single_cfg = bench.search_space().uniform_config("fp32")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            bench.execute(PrecisionConfig())
+            bench.execute(single_cfg)
+
     def test_kmeans_single_preserves_assignment(self, data_env):
         bench = get_benchmark("kmeans")
         base = bench.execute(PrecisionConfig())

@@ -69,6 +69,23 @@ class TestPrecisionConfig:
         assert config.precision_of("b") is Precision.DOUBLE
         assert config.dtype_of("a") == np.dtype(np.float32)
 
+    def test_string_precision_names_are_coerced(self):
+        config = PrecisionConfig({"a": "fp32", "b": "half"}, default="fp64")
+        assert config.precision_of("a") is Precision.SINGLE
+        assert config.precision_of("b") is Precision.HALF
+        assert config.default is Precision.DOUBLE
+        assert config == PrecisionConfig(
+            {"a": Precision.SINGLE, "b": Precision.HALF}
+        )
+
+    def test_assign_accepts_string_names(self):
+        config = PrecisionConfig().assign("a", "single")
+        assert config.precision_of("a") is Precision.SINGLE
+
+    def test_unknown_string_precision_rejected(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            PrecisionConfig({"a": "quad"})
+
     def test_default_assignments_are_dropped(self):
         config = PrecisionConfig({"a": Precision.DOUBLE, "b": Precision.SINGLE})
         assert "a" not in config
@@ -82,7 +99,7 @@ class TestPrecisionConfig:
 
     def test_rejects_non_precision_values(self):
         with pytest.raises(TypeError, match="must be a Precision"):
-            PrecisionConfig({"a": "single"})
+            PrecisionConfig({"a": 3.14})
 
     def test_assign_returns_new_config(self):
         base = PrecisionConfig()

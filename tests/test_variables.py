@@ -144,6 +144,13 @@ class TestSearchSpace:
         config = space.uniform_config(Precision.SINGLE)
         assert config.lowered_locations() == {"f.a", "g.b", "f.s"}
 
+    def test_uniform_config_accepts_string_names(self):
+        space = _two_cluster_space()
+        assert space.uniform_config("fp32") == space.uniform_config(Precision.SINGLE)
+        assert space.uniform_config("half") == space.uniform_config(Precision.HALF)
+        with pytest.raises(ValueError, match="unknown precision"):
+            space.uniform_config("quad")
+
     def test_compilability(self):
         space = _two_cluster_space()
         split = PrecisionConfig({"f.a": Precision.SINGLE})  # g.b stays double
