@@ -1,8 +1,11 @@
 """Core abstractions: precision types, program locations, evaluation."""
 
 from repro.core.batch import (
-    BatchExecutor, ExecutionFailure, ProcessExecutor, SerialExecutor,
-    ThreadExecutor, make_executor,
+    BatchExecutor, ExecutionFailure, FaultPolicy, ProcessExecutor,
+    SerialExecutor, ThreadExecutor, make_executor,
+)
+from repro.core.checkpoint import (
+    JournalTrialStore, RunJournal, RunState, grid_fingerprint, load_run_state,
 )
 from repro.core.evaluator import ConfigurationEvaluator, TimingMode, measured_seconds
 from repro.core.program import ExecutionResult, Program
@@ -20,6 +23,8 @@ __all__ = [
     "ConfigurationEvaluator", "TimingMode", "measured_seconds",
     "EvaluationStatus", "TrialRecord", "SearchOutcome",
     "BatchExecutor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
-    "ExecutionFailure", "make_executor",
+    "ExecutionFailure", "FaultPolicy", "make_executor",
+    "RunJournal", "RunState", "JournalTrialStore", "grid_fingerprint",
+    "load_run_state",
     "EvalStats", "TraceWriter",
 ]

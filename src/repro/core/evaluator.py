@@ -154,6 +154,9 @@ class ConfigurationEvaluator:
         if executor is not None:
             self.stats.executor = executor.name
             self.stats.workers = executor.workers
+        #: last-seen executor incident counters, so shared executors
+        #: contribute only the *delta* produced under this evaluator
+        self._fault_seen = executor.fault_counters() if executor is not None else {}
 
         self._cluster_space = program.search_space(Granularity.CLUSTER)
         self._cache: dict[PrecisionConfig, TrialRecord] = {}
@@ -319,6 +322,7 @@ class ConfigurationEvaluator:
         started = time.perf_counter()
         results = self.executor.run(self.program, pending)
         self.stats.wall_seconds += time.perf_counter() - started
+        self._sync_fault_stats()
         self.stats.prefetched_executions += len(pending)
         self._staged.update(zip(pending, results))
         if self.trace is not None:
@@ -407,6 +411,18 @@ class ConfigurationEvaluator:
             )
         return record
 
+    def _sync_fault_stats(self) -> None:
+        """Fold the executor's incident counters into this evaluator's
+        stats (delta-based: executors may be shared across evaluators)."""
+        if self.executor is None:
+            return
+        current = self.executor.fault_counters()
+        for name, value in current.items():
+            delta = value - self._fault_seen.get(name, 0)
+            if delta:
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
+        self._fault_seen = current
+
     def _execute_or_fail(
         self, config: PrecisionConfig
     ) -> tuple[ExecutionResult, float] | None:
@@ -417,6 +433,23 @@ class ConfigurationEvaluator:
             if isinstance(staged, ExecutionFailure):
                 return None
             return staged, staged.modeled_seconds
+        executor = self.executor
+        if (
+            executor is not None
+            and executor.policy.active
+            and self.timing is TimingMode.MODELED
+        ):
+            # route even single executions through the executor, so its
+            # timeout/retry envelope protects non-batched strategies too
+            started = time.perf_counter()
+            try:
+                result = executor.run(self.program, [config])[0]
+            finally:
+                self.stats.wall_seconds += time.perf_counter() - started
+                self._sync_fault_stats()
+            if isinstance(result, ExecutionFailure):
+                return None
+            return result, result.modeled_seconds
         started = time.perf_counter()
         try:
             return self._timed_execute(config)

@@ -46,6 +46,14 @@ class EvalStats:
     wall_seconds: float = 0.0
     executor: str = "serial"
     workers: int = 1
+    #: fault-tolerance incidents (see repro.core.batch.FaultPolicy):
+    #: trials that blew their wall-clock budget, transient failures
+    #: retried, worker pools killed/respawned, and work items
+    #: re-dispatched after a pool died under them
+    timeouts: int = 0
+    retries: int = 0
+    worker_restarts: int = 0
+    redispatched: int = 0
     #: free-form labels (strategy name, program) attached by callers
     labels: dict[str, str] = field(default_factory=dict)
 
@@ -68,6 +76,10 @@ class EvalStats:
             "wall_seconds": round(self.wall_seconds, 6),
             "executor": self.executor,
             "workers": self.workers,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "worker_restarts": self.worker_restarts,
+            "redispatched": self.redispatched,
         }
         if self.labels:
             payload["labels"] = dict(self.labels)
@@ -84,6 +96,10 @@ class EvalStats:
         self.batched_configs += other.batched_configs
         self.prefetched_executions += other.prefetched_executions
         self.wall_seconds += other.wall_seconds
+        self.timeouts += other.timeouts
+        self.retries += other.retries
+        self.worker_restarts += other.worker_restarts
+        self.redispatched += other.redispatched
 
 
 class TraceWriter:

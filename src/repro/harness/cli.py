@@ -50,6 +50,16 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "--trace", action="store_true",
         help="write a JSON-lines telemetry trace next to the results",
     )
+    parser.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock budget; slower trials are reported "
+             "as runtime errors (process executor kills hung workers)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry transient worker failures up to N times with "
+             "exponential backoff (default: 0, no retries)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +102,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save the SearchOutcome as interchange JSON",
     )
     _add_execution_flags(search)
+
+    grid = sub.add_parser(
+        "grid",
+        help="run a (program x algorithm x threshold) grid, "
+             "journaled and resumable after a crash",
+    )
+    grid.add_argument("--programs", nargs="+", required=True, metavar="BENCH")
+    grid.add_argument(
+        "--algorithms", nargs="+", required=True, metavar="ALGO",
+        help=f"one or more of {available_strategies()}",
+    )
+    grid.add_argument("--thresholds", nargs="+", type=float, required=True)
+    grid.add_argument(
+        "--grid-workers", type=int, default=1,
+        help="inter-job parallelism (jobs run concurrently on threads)",
+    )
+    grid.add_argument("--max-evaluations", type=int, default=None)
+    grid.add_argument("--time-limit-hours", type=float, default=24.0)
+    grid.add_argument(
+        "--run-id", default=None,
+        help="journal the run under <output>/runs/<run-id>/ so it can "
+             "be resumed after a crash",
+    )
+    grid.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume a journaled run: skip finished jobs, replay "
+             "completed trials, continue from the cut point",
+    )
+    grid.add_argument("--output-dir", default="results")
+    _add_execution_flags(grid)
 
     profile = sub.add_parser(
         "profile", help="machine-model runtime breakdown of a benchmark",
@@ -156,6 +196,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         trace=args.trace,
+        trial_timeout=args.trial_timeout,
+        max_retries=args.max_retries,
     )
     for report in harness.run_file(args.config):
         print(f"\n{report.name} ({report.metric} <= {report.threshold:g})")
@@ -187,7 +229,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
     quality = QualitySpec(args.metric or bench.metric, threshold)
     timing = TimingMode.WALL_CLOCK if args.timing == "wall" else TimingMode.MODELED
     output_dir = Path(args.output_dir)
-    executor = make_executor(args.executor, args.workers)
+    executor = make_executor(
+        args.executor, args.workers,
+        trial_timeout=args.trial_timeout, max_retries=args.max_retries,
+    )
     cache = None
     if not args.no_cache:
         cache = EvaluationCache(args.cache_dir or output_dir / "cache")
@@ -221,6 +266,75 @@ def _cmd_search(args: argparse.Namespace) -> int:
         outcome.save(args.save)
         print(f"  outcome saved to {args.save}")
     return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.harness.scheduler import grid_jobs, run_grid
+
+    output_dir = Path(args.output_dir)
+    run_id = args.run_id or args.resume
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(output_dir / "cache")
+    jobs = grid_jobs(
+        args.programs, args.algorithms, args.thresholds,
+        time_limit_seconds=args.time_limit_hours * 3600.0,
+        max_evaluations=args.max_evaluations,
+        executor=args.executor,
+        executor_workers=args.workers,
+        cache_dir=cache_dir,
+        trial_timeout=args.trial_timeout,
+        max_retries=args.max_retries,
+    )
+    results = run_grid(
+        jobs, workers=args.grid_workers,
+        run_id=run_id, resume=args.resume,
+        runs_dir=output_dir / "runs",
+    )
+
+    rows = []
+    for result in results:
+        outcome = result.outcome
+        if outcome is not None:
+            status = "timeout" if outcome.timed_out else (
+                "ok" if outcome.found_solution else "none"
+            )
+            rows.append([
+                result.job.label(),
+                "resumed" if result.resumed else "ran",
+                outcome.evaluations,
+                f"{outcome.analysis_seconds / 3600.0:.2f}h",
+                status,
+                format_speedup(outcome.speedup),
+                format_quality(outcome.error_value),
+            ])
+        else:
+            rows.append([
+                result.job.label(),
+                "resumed" if result.resumed else "ran",
+                "-", "-", f"error: {result.error_kind or 'unknown'}", "-", "-",
+            ])
+    print(format_table(
+        ["job", "source", "EV", "time", "status", "SU", "AC"], rows,
+        f"grid ({len(results)} jobs)",
+    ))
+    failed = [r for r in results if not r.ok]
+    if failed:
+        print(f"\n{len(failed)} job(s) failed:")
+        for result in failed:
+            print(f"  {result.job.label()}: {result.error_kind}")
+
+    if run_id is not None:
+        results_path = output_dir / "runs" / run_id / "results.json"
+        results_path.parent.mkdir(parents=True, exist_ok=True)
+        results_path.write_text(json.dumps(
+            [r.to_json_dict() for r in results], indent=2, sort_keys=True,
+        ))
+        print(f"\nresults saved to {results_path}")
+    return 1 if failed else 0
 
 
 def _cmd_profile(name: str, precision_name: str) -> int:
@@ -304,6 +418,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "search":
         return _cmd_search(args)
+    if args.command == "grid":
+        return _cmd_grid(args)
     if args.command == "profile":
         return _cmd_profile(args.benchmark, args.precision)
     if args.command == "report":

@@ -40,6 +40,13 @@ def format_eval_stats(stats: dict | None) -> str:
     executor = stats.get("executor", "serial")
     if executor != "serial":
         parts.append(f"[{executor} x{stats.get('workers', 1)}]")
+    incidents = [
+        f"{key}={stats.get(key, 0)}"
+        for key in ("timeouts", "retries", "worker_restarts")
+        if stats.get(key, 0)
+    ]
+    if incidents:
+        parts.append("!" + ",".join(incidents))
     return " ".join(parts)
 
 

@@ -79,6 +79,11 @@ class Harness:
     trace:
         When true, each entry writes a JSON-lines telemetry trace to
         ``<output_dir>/<entry>/trace.jsonl``.
+    trial_timeout / max_retries:
+        Fault policy handed to the batch executors: per-trial
+        wall-clock budget in real seconds and transient-failure retry
+        bound (see :class:`repro.core.batch.FaultPolicy` and
+        docs/fault-tolerance.md).  Defaults leave fault handling off.
     """
 
     def __init__(
@@ -89,6 +94,8 @@ class Harness:
         use_cache: bool = True,
         cache_dir: str | Path | None = None,
         trace: bool = False,
+        trial_timeout: float | None = None,
+        max_retries: int = 0,
     ) -> None:
         self.output_dir = Path(output_dir)
         self.executor = executor
@@ -96,6 +103,8 @@ class Harness:
         self.use_cache = use_cache
         self.cache_dir = Path(cache_dir) if cache_dir else self.output_dir / "cache"
         self.trace = trace
+        self.trial_timeout = trial_timeout
+        self.max_retries = max_retries
 
     def run_file(self, path: str | Path) -> list[HarnessReport]:
         """Run every entry of a YAML configuration file."""
@@ -115,6 +124,8 @@ class Harness:
         executor = make_executor(
             entry.executor or self.executor,
             entry.workers if entry.workers is not None else self.workers,
+            trial_timeout=self.trial_timeout,
+            max_retries=self.max_retries,
         )
         cache_on = entry.cache if entry.cache is not None else self.use_cache
         cache = EvaluationCache(self.cache_dir) if cache_on else None

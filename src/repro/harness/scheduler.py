@@ -9,6 +9,15 @@ scheduler fans the (program × algorithm × threshold) grid out over a
 local worker pool instead; the *final* verification runs serially
 through the Harness on "the same node", preserving the paper's
 consistency discipline.
+
+Durability (see docs/fault-tolerance.md): pass ``run_id`` to journal
+the run under ``<runs_dir>/<run-id>/journal.jsonl`` — every completed
+trial and every finished job is fsync'd to disk as it happens — and
+``resume=<run-id>`` to continue a crashed run.  Finished jobs are
+restored from the journal without re-running; in-flight jobs replay
+their journaled trials through the evaluator (same simulated cost,
+same EV) and continue from the cut point, so a resumed grid's results
+are bit-identical to an uninterrupted run's.
 """
 
 from __future__ import annotations
@@ -17,10 +26,13 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.benchmarks.base import get_benchmark
 from repro.core.batch import make_executor
+from repro.core.checkpoint import (
+    DEFAULT_RUNS_DIR, JournalTrialStore, RunJournal, job_key,
+)
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.results import SearchOutcome
 from repro.runtime.cache import EvaluationCache
@@ -41,6 +53,9 @@ class SearchJob:
     the ``workers`` argument of :func:`run_grid` remains the
     *inter-job* parallelism.  ``cache_dir`` attaches a persistent
     evaluation cache shared by every job that names the same path.
+    ``trial_timeout``/``max_retries`` configure the executor's
+    fault policy (per-trial wall-clock budget, transient-failure
+    retries); see :class:`repro.core.batch.FaultPolicy`.
     """
 
     program: str
@@ -52,6 +67,8 @@ class SearchJob:
     executor: str = "serial"
     executor_workers: int | None = None
     cache_dir: str | None = None
+    trial_timeout: float | None = None
+    max_retries: int = 0
 
     def label(self) -> str:
         return f"{self.program}/{canonical_name(self.algorithm)}@{self.threshold:g}"
@@ -59,15 +76,41 @@ class SearchJob:
 
 @dataclass
 class JobResult:
-    """Outcome (or failure) of one scheduled job."""
+    """Outcome (or failure) of one scheduled job.
+
+    A failed job carries both the full traceback (``error``) and the
+    exception class name (``error_kind``) so schedulers and tables can
+    surface *what* went wrong without parsing tracebacks.  ``resumed``
+    marks results restored from a run journal rather than recomputed;
+    it is session state, not part of the interchange payload.
+    """
 
     job: SearchJob
     outcome: SearchOutcome | None = None
     error: str | None = None
+    error_kind: str | None = None
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
         return self.outcome is not None
+
+    def to_json_dict(self) -> dict:
+        return {
+            "outcome": self.outcome.to_json_dict() if self.outcome else None,
+            "error": self.error,
+            "error_kind": self.error_kind,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping, job: SearchJob) -> "JobResult":
+        outcome = payload.get("outcome")
+        return cls(
+            job=job,
+            outcome=SearchOutcome.from_json_dict(outcome) if outcome else None,
+            error=payload.get("error"),
+            error_kind=payload.get("error_kind"),
+        )
 
 
 def grid_jobs(
@@ -79,6 +122,8 @@ def grid_jobs(
     executor: str = "serial",
     executor_workers: int | None = None,
     cache_dir: str | Path | None = None,
+    trial_timeout: float | None = None,
+    max_retries: int = 0,
 ) -> list[SearchJob]:
     """The full cross product the paper's evaluation runs."""
     return [
@@ -91,6 +136,8 @@ def grid_jobs(
             executor=executor,
             executor_workers=executor_workers,
             cache_dir=str(cache_dir) if cache_dir else None,
+            trial_timeout=trial_timeout,
+            max_retries=max_retries,
         )
         for program in programs
         for algorithm in algorithms
@@ -98,12 +145,24 @@ def grid_jobs(
     ]
 
 
-def _run_job(job: SearchJob) -> JobResult:
+def _run_job(
+    job: SearchJob,
+    journal: RunJournal | None = None,
+    key: str | None = None,
+    replay: Mapping[str, dict] | None = None,
+) -> JobResult:
     try:
         bench = get_benchmark(job.program)
         quality = QualitySpec(job.metric or bench.metric, job.threshold)
-        batch_executor = make_executor(job.executor, job.executor_workers)
+        batch_executor = make_executor(
+            job.executor, job.executor_workers,
+            trial_timeout=job.trial_timeout, max_retries=job.max_retries,
+        )
         cache = EvaluationCache(job.cache_dir) if job.cache_dir else None
+        if journal is not None and key is not None:
+            # fresh trials are journaled as they complete; journaled
+            # ones replay with identical cost/EV (see repro.core.checkpoint)
+            cache = JournalTrialStore(journal, key, replay, inner=cache)
         try:
             evaluator = ConfigurationEvaluator(
                 bench,
@@ -114,21 +173,92 @@ def _run_job(job: SearchJob) -> JobResult:
                 cache=cache,
             )
             strategy = make_strategy(job.algorithm)
-            return JobResult(job=job, outcome=strategy.run(evaluator))
+            result = JobResult(job=job, outcome=strategy.run(evaluator))
         finally:
             batch_executor.close()
-    except Exception:  # noqa: BLE001 — a failed job must not sink the grid
-        return JobResult(job=job, error=traceback.format_exc())
+    except Exception as exc:  # noqa: BLE001 — a failed job must not sink the grid
+        result = JobResult(
+            job=job, error=traceback.format_exc(), error_kind=type(exc).__name__,
+        )
+    if journal is not None and key is not None:
+        journal.append_job_done(key, result.to_json_dict())
+    return result
 
 
-def run_grid(jobs: Iterable[SearchJob], workers: int = 1) -> list[JobResult]:
+def run_grid(
+    jobs: Iterable[SearchJob],
+    workers: int = 1,
+    run_id: str | None = None,
+    resume: str | None = None,
+    runs_dir: str | Path | None = None,
+) -> list[JobResult]:
     """Run analysis jobs, optionally on a worker pool.
 
     Results are returned in submission order regardless of completion
-    order, so downstream tables are deterministic.
+    order, so downstream tables are deterministic.  A job that fails —
+    even with an exception that escapes :func:`_run_job` itself — is
+    reported as an error :class:`JobResult`; it never aborts the
+    collection of the remaining jobs.
+
+    With ``run_id`` the run is journaled (crash-safe, fsync'd);
+    ``resume`` names a previously journaled run to continue.  Passing
+    both is allowed only when they agree.
     """
     jobs = list(jobs)
-    if workers <= 1:
-        return [_run_job(job) for job in jobs]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_job, jobs))
+    if resume is not None:
+        if run_id is not None and run_id != resume:
+            raise ValueError(
+                f"run_id {run_id!r} and resume {resume!r} name different runs"
+            )
+        run_id = resume
+    journal: RunJournal | None = None
+    if run_id is not None:
+        journal = RunJournal(
+            runs_dir if runs_dir is not None else DEFAULT_RUNS_DIR,
+            run_id, jobs, resume=resume is not None,
+        )
+    try:
+        state = journal.state if journal is not None else None
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, SearchJob, str]] = []
+        for index, job in enumerate(jobs):
+            key = job_key(index, job)
+            payload = state.finished.get(key) if state is not None else None
+            if payload is not None:
+                restored = JobResult.from_json_dict(payload, job)
+                restored.resumed = True
+                results[index] = restored
+            else:
+                pending.append((index, job, key))
+
+        def _execute(index: int, job: SearchJob, key: str) -> JobResult:
+            replay = state.job_trials(key) if state is not None else None
+            return _run_job(job, journal=journal, key=key, replay=replay)
+
+        if workers <= 1:
+            for index, job, key in pending:
+                results[index] = _collect(job, _execute, index, job, key)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (index, job, pool.submit(_execute, index, job, key))
+                    for index, job, key in pending
+                ]
+                # collect via futures in submission order: one worker's
+                # exception maps to *its* JobResult and nothing else
+                for index, job, future in futures:
+                    results[index] = _collect(job, future.result)
+        return [result for result in results if result is not None]
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _collect(job: SearchJob, invoke, *args) -> JobResult:
+    """Invoke one job, mapping any escaped exception to an error result."""
+    try:
+        return invoke(*args)
+    except Exception as exc:  # noqa: BLE001 — keep collecting the other jobs
+        return JobResult(
+            job=job, error=traceback.format_exc(), error_kind=type(exc).__name__,
+        )

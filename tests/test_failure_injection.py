@@ -4,19 +4,33 @@ A program that crashes on some configurations (the evaluator reports
 ``RUNTIME_ERROR``), returns NaN outputs, or blows the budget must
 never take a search down with an unhandled exception — the harness has
 to keep scheduling the rest of the grid.
+
+The executor-level section injects faults one layer lower: benchmarks
+that hang past the trial timeout, kill their worker process outright
+(``os._exit``, the segfault stand-in), or fail transiently N times
+before succeeding.  Every backend must finish the search with correct
+timeout/retry accounting, and retried transients must leave the trial
+log bit-identical to a fault-free run.
 """
 
+import copy
 import math
+import os
+import time
 
 import pytest
 
 from helpers import ToyProgram
 
+from repro.benchmarks import base as bench_base
+from repro.benchmarks.kernels.tridiag import Tridiag
+from repro.core.batch import make_executor
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.results import EvaluationStatus
 from repro.core.types import Precision
 from repro.search import make_strategy
 from repro.search.registry import ALGORITHM_ORDER
+from repro.verify.quality import QualitySpec
 
 ALL_STRATEGIES = ALGORITHM_ORDER + ("HRC", "RS", "LD")
 
@@ -105,3 +119,247 @@ class TestRuntimeErrorAccounting:
         evaluator = ConfigurationEvaluator(program, measurement_noise=0.0)
         outcome = strategy.run(evaluator)
         assert outcome.evaluations >= 1
+
+
+# -- executor-level fault injection ------------------------------------------
+#
+# Registry benchmarks that misbehave *below* the evaluator: in the
+# execution itself, possibly inside a worker process.  All faults are
+# gated on the configuration actually lowering something, so the
+# evaluator's all-double baseline (executed in the parent, before any
+# pool exists) never faults.  Cross-process state (attempt counters,
+# hang durations) travels through MIXPBENCH_FAULT_DIR marker files and
+# environment variables, which forked pool workers inherit.
+
+
+def _attempt(tag: str) -> int:
+    """This execution's 0-based attempt number for ``tag``, counted
+    atomically across processes via O_EXCL marker files."""
+    root = os.environ["MIXPBENCH_FAULT_DIR"]
+    number = 0
+    while True:
+        try:
+            fd = os.open(
+                os.path.join(root, f"{tag}.{number}"),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            number += 1
+            continue
+        os.close(fd)
+        return number
+
+
+class _FaultyTridiag(Tridiag):
+    """Tridiag that misbehaves on lowered configurations only."""
+
+    def execute(self, config, inputs=None):
+        if config.lowered_locations():
+            self._fault(config)
+        return super().execute(config, inputs)
+
+    def _fault(self, config):
+        raise NotImplementedError
+
+
+class HangBench(_FaultyTridiag):
+    """Sleeps past the trial timeout on every lowered configuration."""
+
+    name = "hang-bench"
+
+    def _fault(self, config):
+        time.sleep(float(os.environ["MIXPBENCH_HANG_SECONDS"]))
+
+
+class DieBench(_FaultyTridiag):
+    """Takes its worker process down — the segfault stand-in."""
+
+    name = "die-bench"
+
+    def _fault(self, config):
+        os._exit(17)
+
+
+class TransientBench(_FaultyTridiag):
+    """Fails each lowered configuration twice, then succeeds."""
+
+    name = "transient-bench"
+
+    def _fault(self, config):
+        if _attempt("t-" + config.digest()) < 2:
+            raise OSError("synthetic transient failure")
+
+
+class CrashOnceBench(_FaultyTridiag):
+    """Kills its worker on each configuration's first attempt only."""
+
+    name = "crashonce-bench"
+
+    def _fault(self, config):
+        if _attempt("c-" + config.digest()) < 1:
+            os._exit(17)
+
+
+_FAULT_BENCHES = (HangBench, DieBench, TransientBench, CrashOnceBench)
+
+
+@pytest.fixture()
+def fault_env(data_env, tmp_path, monkeypatch):
+    fault_dir = tmp_path / "faults"
+    fault_dir.mkdir(exist_ok=True)
+    monkeypatch.setenv("MIXPBENCH_FAULT_DIR", str(fault_dir))
+    monkeypatch.setenv("MIXPBENCH_HANG_SECONDS", "0.25")
+    # register_benchmark refuses duplicates; these entries are
+    # test-local, so poke the registry directly and clean up after
+    for cls in _FAULT_BENCHES:
+        bench_base._REGISTRY[cls.name] = cls
+    yield tmp_path
+    for cls in _FAULT_BENCHES:
+        bench_base._REGISTRY.pop(cls.name, None)
+
+
+def _search(
+    bench_name,
+    algorithm="DD",
+    executor_name=None,
+    max_evaluations=6,
+    **fault_kw,
+):
+    bench = bench_base.get_benchmark(bench_name)
+    executor = (
+        make_executor(executor_name, 2, **fault_kw)
+        if executor_name is not None else None
+    )
+    try:
+        evaluator = ConfigurationEvaluator(
+            bench,
+            quality=QualitySpec(bench.metric, bench.default_threshold),
+            max_evaluations=max_evaluations,
+            executor=executor,
+        )
+        outcome = make_strategy(algorithm).run(evaluator)
+    finally:
+        if executor is not None:
+            executor.close()
+    return outcome, evaluator, executor
+
+
+def _comparable(outcome):
+    """Outcome payload minus what legitimately differs between a
+    fault-free tridiag run and a retried fault-bench run: the program
+    name and the telemetry block."""
+    payload = copy.deepcopy(outcome.to_json_dict())
+    payload.pop("program")
+    payload["metadata"].pop("eval_stats", None)
+    return payload
+
+
+def _runtime_errors(outcome):
+    return [
+        t for t in outcome.trials if t.status is EvaluationStatus.RUNTIME_ERROR
+    ]
+
+
+class TestHangTimeouts:
+    """A trial that outlives its wall-clock budget becomes a
+    RUNTIME_ERROR trial; the search finishes; every timeout is counted."""
+
+    def test_serial_posthoc_timeout(self, fault_env, monkeypatch):
+        monkeypatch.setenv("MIXPBENCH_HANG_SECONDS", "0.2")
+        outcome, evaluator, executor = _search(
+            "hang-bench", "DD", "serial", trial_timeout=0.05,
+        )
+        errors = _runtime_errors(outcome)
+        assert errors, "no hung trial was charged as a timeout"
+        assert evaluator.stats.timeouts == len(errors)
+        assert executor.worker_restarts == 0  # nothing to kill in-line
+
+    def test_thread_abandons_hung_worker(self, fault_env, monkeypatch):
+        monkeypatch.setenv("MIXPBENCH_HANG_SECONDS", "1.5")
+        outcome, evaluator, executor = _search(
+            "hang-bench", "DD", "thread",
+            trial_timeout=0.3, max_evaluations=3,
+        )
+        errors = _runtime_errors(outcome)
+        assert errors
+        assert evaluator.stats.timeouts == len(errors)
+        # the pool was respawned so hung threads do not eat capacity
+        assert executor.worker_restarts >= 1
+        assert evaluator.stats.worker_restarts == executor.worker_restarts
+
+    def test_process_kills_hung_worker(self, fault_env, monkeypatch):
+        monkeypatch.setenv("MIXPBENCH_HANG_SECONDS", "30")
+        started = time.monotonic()
+        outcome, evaluator, executor = _search(
+            "hang-bench", "DD", "process",
+            trial_timeout=1.0, max_evaluations=2,
+        )
+        elapsed = time.monotonic() - started
+        errors = _runtime_errors(outcome)
+        assert errors
+        assert evaluator.stats.timeouts == len(errors)
+        assert executor.worker_restarts >= 1
+        # the 30s sleep must have been preempted, not waited out
+        assert elapsed < 20
+
+
+class TestWorkerCrash:
+    """os._exit in a worker — only the process backend can recover."""
+
+    def test_deterministic_crash_becomes_runtime_error(self, fault_env):
+        outcome, evaluator, executor = _search(
+            "die-bench", "DD", "process",
+            max_retries=1, backoff_base=0.001, max_evaluations=3,
+        )
+        errors = _runtime_errors(outcome)
+        assert errors, "worker crashes must surface as RUNTIME_ERROR trials"
+        assert executor.worker_restarts >= 1
+        assert executor.retries >= 1  # the isolated retry was charged
+        assert evaluator.stats.worker_restarts == executor.worker_restarts
+
+    def test_crash_once_then_succeed_is_invisible(self, fault_env):
+        reference, _, _ = _search("tridiag", "DD")
+        outcome, evaluator, executor = _search(
+            "crashonce-bench", "DD", "process",
+            max_retries=2, backoff_base=0.001,
+        )
+        assert _comparable(outcome) == _comparable(reference)
+        assert executor.worker_restarts >= 1
+        assert executor.retries >= 1
+        assert not _runtime_errors(outcome)
+
+
+class TestTransientRetries:
+    """Fail-twice-then-succeed must be invisible given retry budget."""
+
+    @pytest.mark.parametrize("executor_name", ["serial", "thread", "process"])
+    def test_retries_reproduce_the_fault_free_run(
+        self, fault_env, executor_name
+    ):
+        reference, _, _ = _search("tridiag", "GA", max_evaluations=8)
+        outcome, evaluator, executor = _search(
+            "transient-bench", "GA", executor_name,
+            max_retries=3, backoff_base=0.001, max_evaluations=8,
+        )
+        assert _comparable(outcome) == _comparable(reference)
+        assert executor.retries >= 2  # two injected failures per config
+        assert evaluator.stats.retries == executor.retries
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_every_strategy_survives_transients(self, fault_env, strategy):
+        reference, _, _ = _search("tridiag", strategy, max_evaluations=8)
+        outcome, _, executor = _search(
+            "transient-bench", strategy, "serial",
+            max_retries=3, backoff_base=0.001, max_evaluations=8,
+        )
+        assert _comparable(outcome) == _comparable(reference)
+        assert executor.retries >= 2
+
+    def test_exhausted_retry_budget_fails_the_trial(self, fault_env):
+        outcome, evaluator, _ = _search(
+            "transient-bench", "DD", "serial",
+            max_retries=1, backoff_base=0.001, max_evaluations=3,
+        )
+        # two injected failures > one retry: the trial must fail,
+        # the search must still finish
+        assert _runtime_errors(outcome)
