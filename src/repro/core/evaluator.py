@@ -124,6 +124,18 @@ class ConfigurationEvaluator:
     trace:
         Optional :class:`~repro.core.telemetry.TraceWriter` receiving
         one JSON-lines event per evaluation and batch.
+    space_override:
+        Optional reduced :class:`~repro.core.variables.SearchSpace`
+        (e.g. from :func:`repro.typeforge.prune.prune_report`) that
+        :meth:`space` serves to search strategies instead of the
+        program's full space.  Compile checks still use the *full*
+        cluster partition, and the persistent-cache context is
+        unchanged: a configuration evaluates identically with or
+        without the override, the override only restricts which
+        configurations strategies enumerate.
+    prune_info:
+        Free-form provenance for the override (frozen/merged counts),
+        surfaced in search outcome metadata and reports.
     """
 
     def __init__(
@@ -139,6 +151,8 @@ class ConfigurationEvaluator:
         cache: EvaluationCache | None = None,
         stats: EvalStats | None = None,
         trace: TraceWriter | None = None,
+        space_override: SearchSpace | None = None,
+        prune_info: dict | None = None,
     ) -> None:
         self.program = program
         self.quality = quality if quality is not None else program.quality
@@ -159,6 +173,8 @@ class ConfigurationEvaluator:
         self._fault_seen = executor.fault_counters() if executor is not None else {}
 
         self._cluster_space = program.search_space(Granularity.CLUSTER)
+        self.space_override = space_override
+        self.prune_info = prune_info
         self._cache: dict[PrecisionConfig, TrialRecord] = {}
         self._staged: dict[PrecisionConfig, ExecutionResult | ExecutionFailure] = {}
         self._trials: list[TrialRecord] = []
@@ -219,7 +235,10 @@ class ConfigurationEvaluator:
 
     # -- public API -------------------------------------------------------
     def space(self, granularity: Granularity = Granularity.CLUSTER) -> SearchSpace:
-        """The program's search space at the requested granularity."""
+        """The search space strategies enumerate, at the requested
+        granularity (the pruned space when an override is active)."""
+        if self.space_override is not None:
+            return self.space_override.at(granularity)
         return self._cluster_space.at(granularity)
 
     @property

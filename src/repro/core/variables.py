@@ -194,6 +194,78 @@ class SearchSpace:
         """Number of raw configurations: ``p ** loc`` (paper, Section II)."""
         return len(self.levels) ** len(self.locations())
 
+    def restrict(
+        self,
+        *,
+        freeze: Iterable[str] = (),
+        merge: Iterable[tuple[str, str]] = (),
+    ) -> "SearchSpace":
+        """A reduced space: a strict subset of this space's configurations.
+
+        ``freeze`` lists variable uids pinned at the default (double)
+        precision; they disappear from the space entirely, so no search
+        strategy spends trials on them.  Frozen variables must cover
+        whole clusters — freezing part of a cluster would leave the
+        remainder unable to lower without splitting the cluster.
+
+        ``merge`` lists variable-uid pairs whose clusters must share a
+        precision; their clusters are unified, so cluster-granularity
+        searches see one location where they saw several.
+
+        Every configuration expressible in the restricted space is also
+        expressible here (frozen variables at double), with identical
+        compile/verification behaviour — restriction never *adds*
+        configurations, which is what makes pruning sound.
+        """
+        frozen = set(freeze)
+        unknown = frozen - self._variables.keys()
+        if unknown:
+            raise ValueError(f"cannot freeze unknown variables: {sorted(unknown)}")
+        for cluster in self._clusters.values():
+            overlap = cluster.members & frozen
+            if overlap and overlap != cluster.members:
+                raise ValueError(
+                    f"freeze must cover whole clusters; {cluster.cid} is "
+                    f"only partially frozen ({sorted(overlap)})"
+                )
+
+        parent = {cid: cid for cid in self._clusters}
+
+        def find(cid: str) -> str:
+            while parent[cid] != cid:
+                parent[cid] = parent[parent[cid]]
+                cid = parent[cid]
+            return cid
+
+        for a, b in merge:
+            for uid in (a, b):
+                if uid not in self._variables:
+                    raise ValueError(f"cannot merge unknown variable: {uid}")
+            ra, rb = find(self._cluster_of[a]), find(self._cluster_of[b])
+            if ra != rb:
+                parent[rb] = ra
+
+        groups: dict[str, set[str]] = {}
+        for cid, cluster in self._clusters.items():
+            groups.setdefault(find(cid), set()).update(cluster.members)
+
+        for members in groups.values():
+            overlap = members & frozen
+            if overlap and overlap != members:
+                raise ValueError(
+                    "freeze must cover whole merged clusters; got a merge "
+                    f"group only partially frozen ({sorted(overlap)})"
+                )
+        variables = [v for uid, v in self._variables.items() if uid not in frozen]
+        clusters = [
+            Cluster(min(members), frozenset(members))
+            for members in groups.values()
+            if not members & frozen
+        ]
+        return SearchSpace(
+            variables, clusters, granularity=self.granularity, levels=self.levels
+        )
+
     # -- configuration construction ---------------------------------------
     def config_from_choices(self, choices: Mapping[str, Precision]) -> PrecisionConfig:
         """Translate per-location choices into a per-variable config.

@@ -32,7 +32,39 @@ class StyleError(MixPBenchError):
 
     The Typeforge-style static analysis only understands benchmark
     modules written in the documented style (see ``repro.typeforge``).
+
+    Carries an optional source location so CLI diagnostics can point at
+    the offending line (``file:line:col: message``); the location is
+    prepended to ``str(error)`` when known.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        file: str | None = None,
+        line: int | None = None,
+        col: int | None = None,
+    ) -> None:
+        self.message = message
+        self.file = file
+        self.line = line
+        self.col = col
+        super().__init__(message)
+
+    @property
+    def location(self) -> str | None:
+        """``file:line:col`` (or the known prefix of it), if any."""
+        parts = [p for p in (self.file, self.line, self.col) if p is not None]
+        if not parts:
+            return None
+        return ":".join(str(p) for p in parts)
+
+    def __str__(self) -> str:
+        location = self.location
+        if location is None:
+            return self.message
+        return f"{location}: {self.message}"
 
 
 class UnknownVariableError(MixPBenchError):

@@ -4,6 +4,7 @@ Subcommands::
 
     mixpbench list                         # suite inventory
     mixpbench analyze BENCH                # Typeforge TV/TC report
+    mixpbench lint [TARGET...]             # static precision diagnostics
     mixpbench run CONFIG.yaml              # run a YAML harness file
     mixpbench search BENCH --algorithm DD  # one ad-hoc search
 """
@@ -18,8 +19,10 @@ from repro.benchmarks.base import (
 )
 from repro.core.batch import EXECUTOR_NAMES, make_executor
 from repro.core.evaluator import ConfigurationEvaluator
+from repro.errors import MixPBenchError
 from repro.harness.reporting import (
-    format_eval_stats, format_quality, format_speedup, format_table,
+    format_eval_stats, format_prune_stats, format_quality, format_speedup,
+    format_table,
 )
 from repro.harness.runner import Harness
 from repro.search.registry import available_strategies, make_strategy
@@ -77,10 +80,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", nargs=2, metavar=("VAR_A", "VAR_B"), default=None,
         help="show the dependence chain forcing two variables into one cluster",
     )
+    analyze.add_argument(
+        "--prune", action="store_true",
+        help="also show the statically pruned search space "
+             "(frozen variables, merged clusters)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static precision diagnostics (MPB rule codes) over "
+             "benchmarks, files or directories",
+    )
+    lint.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="benchmark names, .py files, or directories of benchmark "
+             "modules (default: the whole suite)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings silenced by '# mpb: ignore[...]' comments",
+    )
+    lint.add_argument(
+        "--fail-on", choices=["error", "warning", "info", "never"],
+        default="error",
+        help="lowest severity that makes the exit status non-zero "
+             "(default: error)",
+    )
 
     run = sub.add_parser("run", help="run a YAML harness configuration")
     run.add_argument("config")
     run.add_argument("--output-dir", default="results")
+    run.add_argument(
+        "--prune", action="store_true",
+        help="restrict each search space with the static dataflow pruner",
+    )
     _add_execution_flags(run)
 
     search = sub.add_parser("search", help="run one mixed-precision search")
@@ -100,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--save", default=None, metavar="PATH",
         help="also save the SearchOutcome as interchange JSON",
+    )
+    search.add_argument(
+        "--prune", action="store_true",
+        help="restrict the search space with the static dataflow pruner",
     )
     _add_execution_flags(search)
 
@@ -129,6 +170,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", default=None, metavar="RUN_ID",
         help="resume a journaled run: skip finished jobs, replay "
              "completed trials, continue from the cut point",
+    )
+    grid.add_argument(
+        "--prune", action="store_true",
+        help="restrict every job's search space with the static dataflow pruner",
     )
     grid.add_argument("--output-dir", default="results")
     _add_execution_flags(grid)
@@ -166,7 +211,9 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_analyze(name: str, explain: list[str] | None = None) -> int:
+def _cmd_analyze(
+    name: str, explain: list[str] | None = None, prune: bool = False
+) -> int:
     bench = get_benchmark(name)
     report = bench.report()
     if explain is not None:
@@ -185,6 +232,38 @@ def _cmd_analyze(name: str, explain: list[str] | None = None) -> int:
     print(f"{bench.name}: TV={report.total_variables} TC={report.total_clusters}")
     rows = [[c.cid, len(c), ", ".join(sorted(c.members))] for c in report.clusters]
     print(format_table(["cluster", "size", "members"], rows))
+    if prune:
+        from repro.typeforge.prune import prune_report
+
+        pruned = prune_report(report)
+        stats = pruned.stats(report.search_space())
+        print(f"\nwith --prune: {pruned.describe(report.search_space())}")
+        for uid in stats["frozen"]:
+            print(f"  frozen : {uid}")
+        for merged in stats["merged"]:
+            print(f"  merged : {merged}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.typeforge.lint import (
+        SEVERITIES, format_text, reports_to_json, resolve_targets,
+    )
+
+    reports = resolve_targets(list(args.targets))
+    if args.format == "json":
+        print(json.dumps(reports_to_json(reports), indent=2, sort_keys=True))
+    else:
+        print(format_text(reports, show_suppressed=args.show_suppressed))
+    if args.fail_on == "never":
+        return 0
+    threshold = SEVERITIES.index(args.fail_on)
+    for report in reports:
+        worst = report.worst_severity()
+        if worst is not None and SEVERITIES.index(worst) <= threshold:
+            return 1
     return 0
 
 
@@ -198,11 +277,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace=args.trace,
         trial_timeout=args.trial_timeout,
         max_retries=args.max_retries,
+        prune=args.prune,
     )
     for report in harness.run_file(args.config):
         print(f"\n{report.name} ({report.metric} <= {report.threshold:g})")
         rows = []
+        pruned = False
         for a in report.analyses:
+            pruned = pruned or bool(a.prune)
             rows.append([
                 a.identifier, a.strategy, a.evaluations,
                 f"{a.analysis_hours:.2f}h",
@@ -214,6 +296,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ["analysis", "strategy", "EV", "time", "status", "SU", "AC",
              "evaluation"], rows,
         ))
+        if pruned:
+            for a in report.analyses:
+                if a.prune:
+                    print(f"  {a.identifier}: pruned {format_prune_stats(a.prune)}")
     return 0
 
 
@@ -241,10 +327,20 @@ def _cmd_search(args: argparse.Namespace) -> int:
         trace = TraceWriter(
             output_dir / "traces" / f"{bench.name}-{args.algorithm}.jsonl"
         )
+    space_override = None
+    prune_info = None
+    if args.prune:
+        from repro.typeforge.prune import prune_report
+
+        tf_report = bench.report()
+        pruned = prune_report(tf_report)
+        space_override = pruned.space
+        prune_info = pruned.stats(tf_report.search_space())
     try:
         evaluator = ConfigurationEvaluator(
             bench, quality=quality, max_evaluations=args.max_evaluations,
             timing=timing, executor=executor, cache=cache, trace=trace,
+            space_override=space_override, prune_info=prune_info,
         )
         outcome = make_strategy(args.algorithm).run(evaluator)
     finally:
@@ -257,6 +353,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     print(f"  analysis time: {outcome.analysis_seconds / 3600.0:.2f} simulated hours")
     stats = outcome.metadata.get("eval_stats") or {}
     print(f"  evaluation: {format_eval_stats(stats)}")
+    if prune_info is not None:
+        print(f"  pruned: {format_prune_stats(prune_info)}")
     if outcome.found_solution:
         print(f"  speedup: {format_speedup(outcome.speedup)}")
         print(f"  quality: {format_quality(outcome.error_value)}")
@@ -288,6 +386,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         trial_timeout=args.trial_timeout,
         max_retries=args.max_retries,
+        prune=args.prune,
     )
     results = run_grid(
         jobs, workers=args.grid_workers,
@@ -410,20 +509,27 @@ def _cmd_report(paths: list[str], show_convergence: bool) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "analyze":
-        return _cmd_analyze(args.benchmark, args.explain)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "search":
-        return _cmd_search(args)
-    if args.command == "grid":
-        return _cmd_grid(args)
-    if args.command == "profile":
-        return _cmd_profile(args.benchmark, args.precision)
-    if args.command == "report":
-        return _cmd_report(args.outcomes, args.convergence)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "analyze":
+            return _cmd_analyze(args.benchmark, args.explain, args.prune)
+        if args.command == "lint":
+            return _cmd_lint(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "search":
+            return _cmd_search(args)
+        if args.command == "grid":
+            return _cmd_grid(args)
+        if args.command == "profile":
+            return _cmd_profile(args.benchmark, args.precision)
+        if args.command == "report":
+            return _cmd_report(args.outcomes, args.convergence)
+    except MixPBenchError as error:
+        # StyleErrors carry file:line:col, rendered by their __str__
+        print(f"mixpbench: error: {error}", file=sys.stderr)
+        return 2
     return 1
 
 

@@ -38,7 +38,7 @@ __all__ = ["AnalysisSpec", "HarnessConfig", "load_config", "parse_config"]
 _TOP_KEYS = {
     "benchmark", "build", "build_dir", "clean", "metric", "threshold",
     "runs", "time_limit_hours", "analysis", "args", "bin", "copy", "output",
-    "executor", "workers", "cache",
+    "executor", "workers", "cache", "prune",
 }
 
 _EXECUTOR_NAMES = ("serial", "thread", "process")
@@ -73,6 +73,8 @@ class HarnessConfig:
     workers: int | None = None
     #: persistent evaluation cache toggle; None inherits
     cache: bool | None = None
+    #: static search-space pruning toggle; None inherits
+    prune: bool | None = None
 
     def analysis(self, identifier: str) -> AnalysisSpec:
         for spec in self.analyses:
@@ -163,6 +165,12 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
             f"{source}: {name}: cache must be a boolean"
         )
 
+    prune = body.get("prune")
+    if prune is not None and not isinstance(prune, bool):
+        raise HarnessConfigError(
+            f"{source}: {name}: prune must be a boolean"
+        )
+
     analyses = []
     for identifier, spec in (body.get("analysis") or {}).items():
         if not isinstance(spec, Mapping) or "name" not in spec:
@@ -189,4 +197,5 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
         executor=executor,
         workers=workers,
         cache=cache,
+        prune=prune,
     )

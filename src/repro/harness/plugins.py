@@ -56,6 +56,8 @@ class DeployedApp:
     executor: Any = None
     cache: Any = None
     trace: Any = None
+    #: restrict the search space with the static dataflow pruner
+    prune: bool = False
 
 
 @dataclass
@@ -87,6 +89,7 @@ class FloatSmithPlugin(AnalysisPlugin):
         algorithm = str(extra_args.pop("algorithm", "ddebug"))
         strategy_kwargs = dict(extra_args.pop("strategy_args", {}))
         max_evaluations = extra_args.pop("max_evaluations", None)
+        prune = bool(extra_args.pop("prune", False)) or app.prune
         if extra_args:
             raise PluginError(
                 f"floatSmith: unknown extra_args {sorted(extra_args)}"
@@ -94,6 +97,15 @@ class FloatSmithPlugin(AnalysisPlugin):
 
         bench = app.benchmark
         bench.runs_per_config = app.runs_per_config
+        space_override = None
+        prune_info = None
+        if prune:
+            from repro.typeforge.prune import prune_report
+
+            report = bench.report()
+            pruned = prune_report(report)
+            space_override = pruned.space
+            prune_info = pruned.stats(report.search_space())
         evaluator = ConfigurationEvaluator(
             bench,
             quality=app.quality,
@@ -102,6 +114,8 @@ class FloatSmithPlugin(AnalysisPlugin):
             executor=app.executor,
             cache=app.cache,
             trace=app.trace,
+            space_override=space_override,
+            prune_info=prune_info,
         )
         strategy = make_strategy(algorithm, **strategy_kwargs)
         outcome = strategy.run(evaluator)

@@ -15,8 +15,24 @@ from typing import Any, Sequence
 
 __all__ = [
     "format_table", "write_csv", "format_quality", "format_speedup",
-    "format_eval_stats",
+    "format_eval_stats", "format_prune_stats",
 ]
+
+
+def format_prune_stats(stats: dict | None) -> str:
+    """One-line rendering of a pruning-stats block.
+
+    ``11 -> 7 locations (4 frozen, 0 merged)`` — search-space locations
+    before/after the static pruner, with the reduction provenance.
+    An empty block (pruning off, or nothing prunable) renders as ``-``.
+    """
+    if not stats:
+        return "-"
+    before = stats.get("locations_before", "?")
+    after = stats.get("locations_after", "?")
+    frozen = len(stats.get("frozen", ()))
+    merged = len(stats.get("merged", ()))
+    return f"{before} -> {after} locations ({frozen} frozen, {merged} merged)"
 
 
 def format_eval_stats(stats: dict | None) -> str:

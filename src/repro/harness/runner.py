@@ -48,6 +48,8 @@ class AnalysisReport:
     config: PrecisionConfig | None = None
     #: the evaluator's telemetry block (see repro.core.telemetry)
     eval_stats: dict = field(default_factory=dict)
+    #: static-pruning provenance (empty when pruning was off)
+    prune: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -84,6 +86,10 @@ class Harness:
         wall-clock budget in real seconds and transient-failure retry
         bound (see :class:`repro.core.batch.FaultPolicy` and
         docs/fault-tolerance.md).  Defaults leave fault handling off.
+    prune:
+        Restrict each analysis's search space with the static dataflow
+        pruner (``--prune``; per-entry ``prune:`` overrides; see
+        docs/static-analysis.md).
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class Harness:
         trace: bool = False,
         trial_timeout: float | None = None,
         max_retries: int = 0,
+        prune: bool = False,
     ) -> None:
         self.output_dir = Path(output_dir)
         self.executor = executor
@@ -105,6 +112,7 @@ class Harness:
         self.trace = trace
         self.trial_timeout = trial_timeout
         self.max_retries = max_retries
+        self.prune = prune
 
     def run_file(self, path: str | Path) -> list[HarnessReport]:
         """Run every entry of a YAML configuration file."""
@@ -142,6 +150,7 @@ class Harness:
             executor=executor,
             cache=cache,
             trace=trace,
+            prune=entry.prune if entry.prune is not None else self.prune,
         )
         try:
             for spec in entry.analyses:
@@ -184,6 +193,7 @@ class Harness:
             timed_out=outcome.timed_out,
             found_solution=outcome.found_solution,
             eval_stats=dict(outcome.metadata.get("eval_stats") or {}),
+            prune=dict(outcome.metadata.get("prune") or {}),
         )
         if not outcome.found_solution:
             return report

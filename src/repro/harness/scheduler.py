@@ -69,6 +69,8 @@ class SearchJob:
     cache_dir: str | None = None
     trial_timeout: float | None = None
     max_retries: int = 0
+    #: restrict the search space with the static dataflow pruner
+    prune: bool = False
 
     def label(self) -> str:
         return f"{self.program}/{canonical_name(self.algorithm)}@{self.threshold:g}"
@@ -124,6 +126,7 @@ def grid_jobs(
     cache_dir: str | Path | None = None,
     trial_timeout: float | None = None,
     max_retries: int = 0,
+    prune: bool = False,
 ) -> list[SearchJob]:
     """The full cross product the paper's evaluation runs."""
     return [
@@ -138,6 +141,7 @@ def grid_jobs(
             cache_dir=str(cache_dir) if cache_dir else None,
             trial_timeout=trial_timeout,
             max_retries=max_retries,
+            prune=prune,
         )
         for program in programs
         for algorithm in algorithms
@@ -163,6 +167,15 @@ def _run_job(
             # fresh trials are journaled as they complete; journaled
             # ones replay with identical cost/EV (see repro.core.checkpoint)
             cache = JournalTrialStore(journal, key, replay, inner=cache)
+        space_override = None
+        prune_info = None
+        if job.prune:
+            from repro.typeforge.prune import prune_report
+
+            report = bench.report()
+            pruned = prune_report(report)
+            space_override = pruned.space
+            prune_info = pruned.stats(report.search_space())
         try:
             evaluator = ConfigurationEvaluator(
                 bench,
@@ -171,6 +184,8 @@ def _run_job(
                 max_evaluations=job.max_evaluations,
                 executor=batch_executor,
                 cache=cache,
+                space_override=space_override,
+                prune_info=prune_info,
             )
             strategy = make_strategy(job.algorithm)
             result = JobResult(job=job, outcome=strategy.run(evaluator))

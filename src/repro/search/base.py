@@ -53,6 +53,8 @@ class SearchStrategy(ABC):
         evaluator.stats.labels.setdefault("strategy", self.strategy_name)
         evaluator.stats.labels.setdefault("program", evaluator.program.name)
         metadata["eval_stats"] = evaluator.stats.as_dict()
+        if evaluator.prune_info is not None:
+            metadata["prune"] = dict(evaluator.prune_info)
         return SearchOutcome(
             strategy=self.strategy_name,
             program=evaluator.program.name,

@@ -1,12 +1,24 @@
-"""Typeforge analogue: type-dependence analysis and clustering for
-benchmark modules written in the constrained MPB style."""
+"""Typeforge analogue: type-dependence analysis, clustering, forward
+dataflow, hazard linting, and static search-space pruning for benchmark
+modules written in the constrained MPB style."""
 
 from repro.typeforge.astscan import scan_module, scan_source
 from repro.typeforge.clusters import TypeforgeReport, analyze, analyze_sources
+from repro.typeforge.dataflow import (
+    DataflowResult,
+    HazardSite,
+    MustEqual,
+    analyze_dataflow,
+)
 from repro.typeforge.dependence import DependenceEdge, DependenceResult, UnionFind, solve
+from repro.typeforge.lint import LintFinding, LintReport, lint_benchmark, lint_sources
+from repro.typeforge.prune import PruneResult, prune_report, prune_space
 
 __all__ = [
     "scan_module", "scan_source", "solve",
     "UnionFind", "DependenceEdge", "DependenceResult",
     "TypeforgeReport", "analyze", "analyze_sources",
+    "DataflowResult", "HazardSite", "MustEqual", "analyze_dataflow",
+    "PruneResult", "prune_report", "prune_space",
+    "LintFinding", "LintReport", "lint_benchmark", "lint_sources",
 ]

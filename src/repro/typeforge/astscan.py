@@ -16,6 +16,14 @@ constrained **MPB style**:
 The scanner is purely syntactic: it emits declarations and *facts*
 (alias, call binding, return binding, subscript use) that the solver in
 :mod:`repro.typeforge.dependence` turns into variables and clusters.
+
+A second, loop-aware pass collects the *value-flow* facts the forward
+dataflow analysis in :mod:`repro.typeforge.dataflow` consumes: which
+names each assignment reads and writes (:class:`FlowFact`), call-site
+argument/return flows (:class:`CallFlowFact`), ``mp_fwrite`` output
+sinks (:class:`OutputFact`), and the raw binop/comparison observations
+(:class:`BinOpFact` / :class:`CompareFact`) the linter turns into
+hazard diagnostics.  Every fact carries its source location.
 """
 
 from __future__ import annotations
@@ -30,11 +38,13 @@ from repro.errors import StyleError
 
 __all__ = [
     "Slot", "Declaration", "AliasFact", "BindFact", "ReturnFact",
+    "FlowFact", "CallFlowFact", "OutputFact", "BinOpFact", "CompareFact",
     "FunctionScan", "ModuleScan", "scan_module", "scan_source",
 ]
 
 _DECL_METHODS = {"array": "array", "scalar": "scalar", "param": "param"}
 _READ_FUNCS = {"mp_fread"}
+_WRITE_FUNCS = {"mp_fwrite"}
 _WS_NAMES = {"ws"}
 
 
@@ -56,6 +66,8 @@ class Declaration:
     slot: Slot
     decl_kind: str      # "array" | "scalar" | "param"
     module: str
+    line: int = 0
+    col: int = 0
 
 
 @dataclass(frozen=True)
@@ -69,6 +81,8 @@ class AliasFact:
 
     target: Slot
     source: Slot
+    line: int = 0
+    col: int = 0
 
 
 @dataclass(frozen=True)
@@ -87,6 +101,76 @@ class ReturnFact:
     returned: Slot
 
 
+@dataclass(frozen=True)
+class FlowFact:
+    """Value flow from the names an assignment reads into its targets.
+
+    ``store`` marks a subscript store (``x[i] = ...`` — the flow enters
+    the array's existing storage); ``augmented`` marks ``x += ...``
+    (the target is implicitly one of its own sources).
+    """
+
+    targets: tuple[str, ...]
+    sources: tuple[str, ...]
+    line: int = 0
+    col: int = 0
+    in_loop: bool = False
+    augmented: bool = False
+    store: bool = False
+
+
+@dataclass(frozen=True)
+class CallFlowFact:
+    """A direct call, with the names read in each argument expression.
+
+    ``arg_names`` keeps the bare-``Name`` argument per (ws-stripped)
+    position when there is one — those share storage with the callee
+    parameter, so callee writes flow back; expression arguments only
+    flow forward.  ``targets`` are the assignment targets receiving the
+    call's return value (empty for a bare call statement).
+    """
+
+    callee: str
+    arg_reads: tuple[tuple[str, ...], ...]
+    arg_names: tuple[str | None, ...]
+    targets: tuple[str, ...]
+    line: int = 0
+    in_loop: bool = False
+
+
+@dataclass(frozen=True)
+class OutputFact:
+    """An ``mp_fwrite(ws, data, path)`` site: a program-output sink."""
+
+    sources: tuple[str, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BinOpFact:
+    """A binary arithmetic operation whose both sides read names."""
+
+    op: str
+    left: tuple[str, ...]
+    right: tuple[str, ...]
+    line: int = 0
+    col: int = 0
+    in_loop: bool = False
+
+
+@dataclass(frozen=True)
+class CompareFact:
+    """A comparison reading names; ``tolerance`` is the smallest
+    non-zero numeric literal among its comparators (None when the
+    comparison involves no numeric literal)."""
+
+    names: tuple[str, ...]
+    tolerance: float | None
+    line: int = 0
+    col: int = 0
+    in_loop: bool = False
+
+
 @dataclass
 class FunctionScan:
     """Raw facts collected from one function body."""
@@ -102,6 +186,20 @@ class FunctionScan:
     callsites: list[tuple[str, list[tuple[str | None, int]]]] = field(default_factory=list)
     # assignment target name -> callee name (for return binding)
     call_targets: list[tuple[str, str]] = field(default_factory=list)
+    # -- dataflow facts (second pass) ----------------------------------
+    flows: list[FlowFact] = field(default_factory=list)
+    callflows: list[CallFlowFact] = field(default_factory=list)
+    outputs: list[OutputFact] = field(default_factory=list)
+    binops: list[BinOpFact] = field(default_factory=list)
+    compares: list[CompareFact] = field(default_factory=list)
+    #: names read in any ``return`` expression of this function
+    return_reads: set[str] = field(default_factory=set)
+    #: per return statement: the names read in each element of the
+    #: returned tuple (single-element for non-tuple returns), so a
+    #: tuple-unpacking caller can bind flows positionally
+    return_flows: list[tuple[tuple[str, ...], ...]] = field(default_factory=list)
+    lineno: int = 0
+    path: str | None = None
 
 
 @dataclass
@@ -110,27 +208,36 @@ class ModuleScan:
 
     module: str
     functions: dict[str, FunctionScan] = field(default_factory=dict)
+    #: source file path, when known (used in diagnostics)
+    path: str | None = None
+    #: raw source text (used for ``# mpb: ignore[...]`` suppressions)
+    source: str = ""
 
 
 def scan_module(module: ModuleType, module_name: str | None = None) -> ModuleScan:
     """Scan a live Python module's source (via ``inspect``)."""
     source = inspect.getsource(module)
     name = module_name or module.__name__.rsplit(".", 1)[-1]
-    return scan_source(source, name)
+    try:
+        path = inspect.getsourcefile(module)
+    except TypeError:
+        path = None
+    return scan_source(source, name, path=path)
 
 
-def scan_source(source: str, module_name: str) -> ModuleScan:
+def scan_source(source: str, module_name: str, path: str | None = None) -> ModuleScan:
     """Scan benchmark source text for declarations and dependence facts."""
-    tree = ast.parse(textwrap.dedent(source))
-    scan = ModuleScan(module=module_name)
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    scan = ModuleScan(module=module_name, path=path, source=source)
     for node in tree.body:
         if isinstance(node, ast.FunctionDef):
-            scan.functions[node.name] = _scan_function(node, module_name)
+            scan.functions[node.name] = _scan_function(node, module_name, path)
     return scan
 
 
-def _scan_function(node: ast.FunctionDef, module_name: str) -> FunctionScan:
-    fn = FunctionScan(name=node.name, module=module_name)
+def _scan_function(node: ast.FunctionDef, module_name: str, path: str | None) -> FunctionScan:
+    fn = FunctionScan(name=node.name, module=module_name, lineno=node.lineno, path=path)
     fn.params = [
         arg.arg for arg in node.args.args + node.args.kwonlyargs
         if arg.arg not in _WS_NAMES
@@ -161,6 +268,8 @@ def _scan_function(node: ast.FunctionDef, module_name: str) -> FunctionScan:
             args.append((name, position))
             position += 1
         fn.callsites.append((callee, args))
+
+    _scan_statements(fn, node.body, in_loop=False)
     return fn
 
 
@@ -172,7 +281,10 @@ def _scan_assignment(fn: FunctionScan, target: ast.expr, value: ast.expr, declar
             for t_elt, v_elt in zip(target.elts, value.elts):
                 if isinstance(t_elt, ast.Name) and isinstance(v_elt, ast.Name):
                     fn.aliases.append(
-                        AliasFact(Slot(fn.name, t_elt.id), Slot(fn.name, v_elt.id))
+                        AliasFact(
+                            Slot(fn.name, t_elt.id), Slot(fn.name, v_elt.id),
+                            line=t_elt.lineno, col=t_elt.col_offset,
+                        )
                     )
         return
     if not isinstance(target, ast.Name):
@@ -181,24 +293,32 @@ def _scan_assignment(fn: FunctionScan, target: ast.expr, value: ast.expr, declar
 
     decl_kind = _declaration_kind(value)
     if decl_kind is not None:
-        declared_name = _declared_name(value, decl_kind)
+        declared_name = _declared_name(fn, value, decl_kind)
         if declared_name != tname:
             raise StyleError(
                 f"{fn.module}.{fn.name}: declaration target {tname!r} must match "
-                f"the declared name {declared_name!r}"
+                f"the declared name {declared_name!r}",
+                file=fn.path, line=value.lineno, col=value.col_offset,
             )
         if tname in declared:
             raise StyleError(
-                f"{fn.module}.{fn.name}: variable {tname!r} declared twice"
+                f"{fn.module}.{fn.name}: variable {tname!r} declared twice",
+                file=fn.path, line=value.lineno, col=value.col_offset,
             )
         declared.add(tname)
         fn.declarations.append(
-            Declaration(Slot(fn.name, tname), decl_kind, fn.module)
+            Declaration(
+                Slot(fn.name, tname), decl_kind, fn.module,
+                line=value.lineno, col=value.col_offset,
+            )
         )
         return
 
     if isinstance(value, ast.Name):
-        fn.aliases.append(AliasFact(Slot(fn.name, tname), Slot(fn.name, value.id)))
+        fn.aliases.append(AliasFact(
+            Slot(fn.name, tname), Slot(fn.name, value.id),
+            line=value.lineno, col=value.col_offset,
+        ))
         return
 
     if isinstance(value, ast.Subscript) and isinstance(value.value, ast.Name):
@@ -207,7 +327,10 @@ def _scan_assignment(fn: FunctionScan, target: ast.expr, value: ast.expr, declar
         # type.  Scalar element loads (``q = coef[0]``) take the same
         # edge harmlessly: a slot never used as an array gets no
         # variable, so only genuine sub-array aliases unify.
-        fn.aliases.append(AliasFact(Slot(fn.name, tname), Slot(fn.name, value.value.id)))
+        fn.aliases.append(AliasFact(
+            Slot(fn.name, tname), Slot(fn.name, value.value.id),
+            line=value.lineno, col=value.col_offset,
+        ))
         return
 
     if isinstance(value, ast.Call):
@@ -233,7 +356,7 @@ def _declaration_kind(value: ast.expr) -> str | None:
     return None
 
 
-def _declared_name(value: ast.Call, decl_kind: str) -> str:
+def _declared_name(fn: FunctionScan, value: ast.Call, decl_kind: str) -> str:
     func = value.func
     if isinstance(func, ast.Name) and func.id in _READ_FUNCS:
         name_arg = value.args[1] if len(value.args) > 1 else None
@@ -241,7 +364,8 @@ def _declared_name(value: ast.Call, decl_kind: str) -> str:
         name_arg = value.args[0] if value.args else None
     if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
         raise StyleError(
-            f"declaration name must be a string literal (found {ast.dump(value)[:80]})"
+            f"declaration name must be a string literal (found {ast.dump(value)[:80]})",
+            file=fn.path, line=value.lineno, col=value.col_offset,
         )
     return name_arg.value
 
@@ -259,3 +383,174 @@ def _returned_names(value: ast.expr) -> list[str]:
     if isinstance(value, ast.Tuple):
         return [elt.id for elt in value.elts if isinstance(elt, ast.Name)]
     return []
+
+
+# -- second pass: loop-aware value-flow facts -----------------------------
+
+_OP_SYMBOLS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**", ast.MatMult: "@",
+}
+
+
+def _names_read(expr: ast.expr | None) -> tuple[str, ...]:
+    """Ordered unique names read (Load context) within an expression.
+
+    The workspace handle and the callee names of direct calls are
+    plumbing, not data, and are excluded.
+    """
+    if expr is None:
+        return ()
+    skip: set[int] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            skip.add(id(node.func))
+    out: list[str] = []
+    seen: set[str] = set()
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and id(node) not in skip
+            and node.id not in _WS_NAMES
+            and node.id not in seen
+        ):
+            seen.add(node.id)
+            out.append(node.id)
+    return tuple(out)
+
+
+def _scan_expression(fn: FunctionScan, expr: ast.expr | None, in_loop: bool) -> None:
+    """Collect binop / comparison / output-sink observations."""
+    if expr is None:
+        return
+    for node in ast.walk(expr):
+        if isinstance(node, ast.BinOp):
+            left = _names_read(node.left)
+            right = _names_read(node.right)
+            if left and right:
+                fn.binops.append(BinOpFact(
+                    _OP_SYMBOLS.get(type(node.op), "?"), left, right,
+                    line=node.lineno, col=node.col_offset, in_loop=in_loop,
+                ))
+        elif isinstance(node, ast.Compare):
+            names = _names_read(node)
+            constants = [
+                abs(float(c.value))
+                for c in [node.left, *node.comparators]
+                if isinstance(c, ast.Constant) and isinstance(c.value, (int, float))
+                and not isinstance(c.value, bool)
+            ]
+            if names:
+                fn.compares.append(CompareFact(
+                    names, min(constants) if constants else None,
+                    line=node.lineno, col=node.col_offset, in_loop=in_loop,
+                ))
+        elif isinstance(node, ast.Call):
+            callee = _callee_name(node)
+            if callee in _WRITE_FUNCS:
+                sources = tuple(
+                    name for arg in node.args for name in _names_read(arg)
+                )
+                fn.outputs.append(OutputFact(sources, line=node.lineno))
+
+
+def _call_flow(
+    fn: FunctionScan, call: ast.Call, targets: tuple[str, ...], in_loop: bool
+) -> None:
+    callee = _callee_name(call)
+    if callee is None or callee in _READ_FUNCS or callee in _WRITE_FUNCS:
+        return
+    arg_reads: list[tuple[str, ...]] = []
+    arg_names: list[str | None] = []
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id in _WS_NAMES:
+            continue
+        arg_reads.append(_names_read(arg))
+        arg_names.append(arg.id if isinstance(arg, ast.Name) else None)
+    fn.callflows.append(CallFlowFact(
+        callee, tuple(arg_reads), tuple(arg_names), targets,
+        line=call.lineno, in_loop=in_loop,
+    ))
+
+
+def _flow_assign(
+    fn: FunctionScan,
+    target: ast.expr,
+    value: ast.expr,
+    in_loop: bool,
+    augmented: bool = False,
+) -> None:
+    if isinstance(target, ast.Name):
+        targets, store = (target.id,), False
+    elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+        targets, store = (target.value.id,), True
+    elif isinstance(target, ast.Tuple):
+        names = tuple(e.id for e in target.elts if isinstance(e, ast.Name))
+        if not names:
+            return
+        targets, store = names, False
+    else:
+        return
+    callee = _callee_name(value) if isinstance(value, ast.Call) else None
+    if callee is not None and callee not in _READ_FUNCS and callee not in _WRITE_FUNCS:
+        _call_flow(fn, value, targets, in_loop)
+        if augmented:
+            fn.flows.append(FlowFact(
+                targets, (), line=value.lineno, col=value.col_offset,
+                in_loop=in_loop, augmented=True, store=store,
+            ))
+        return
+    sources = _names_read(value)
+    if sources or augmented:
+        fn.flows.append(FlowFact(
+            targets, sources, line=value.lineno, col=value.col_offset,
+            in_loop=in_loop, augmented=augmented, store=store,
+        ))
+
+
+def _scan_statements(fn: FunctionScan, body: list[ast.stmt], in_loop: bool) -> None:
+    for stmt in body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Tuple) and isinstance(stmt.value, ast.Tuple):
+                    for t_elt, v_elt in zip(target.elts, stmt.value.elts):
+                        _flow_assign(fn, t_elt, v_elt, in_loop)
+                else:
+                    _flow_assign(fn, target, stmt.value, in_loop)
+            _scan_expression(fn, stmt.value, in_loop)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            _flow_assign(fn, stmt.target, stmt.value, in_loop)
+            _scan_expression(fn, stmt.value, in_loop)
+        elif isinstance(stmt, ast.AugAssign):
+            _flow_assign(fn, stmt.target, stmt.value, in_loop, augmented=True)
+            _scan_expression(fn, stmt.value, in_loop)
+        elif isinstance(stmt, ast.Return):
+            fn.return_reads.update(_names_read(stmt.value))
+            if stmt.value is not None:
+                if isinstance(stmt.value, ast.Tuple):
+                    fn.return_flows.append(
+                        tuple(_names_read(e) for e in stmt.value.elts)
+                    )
+                else:
+                    fn.return_flows.append((_names_read(stmt.value),))
+            _scan_expression(fn, stmt.value, in_loop)
+        elif isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Call):
+                _call_flow(fn, stmt.value, (), in_loop)
+            _scan_expression(fn, stmt.value, in_loop)
+        elif isinstance(stmt, ast.For):
+            _scan_expression(fn, stmt.iter, in_loop)
+            _flow_assign(fn, stmt.target, stmt.iter, in_loop=True)
+            _scan_statements(fn, stmt.body, in_loop=True)
+            _scan_statements(fn, stmt.orelse, in_loop=True)
+        elif isinstance(stmt, ast.While):
+            _scan_expression(fn, stmt.test, in_loop=True)
+            _scan_statements(fn, stmt.body, in_loop=True)
+            _scan_statements(fn, stmt.orelse, in_loop=True)
+        elif isinstance(stmt, ast.If):
+            _scan_expression(fn, stmt.test, in_loop)
+            _scan_statements(fn, stmt.body, in_loop)
+            _scan_statements(fn, stmt.orelse, in_loop)
+        elif isinstance(stmt, ast.With):
+            _scan_statements(fn, stmt.body, in_loop)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from types import ModuleType
 
 from repro.core.variables import Cluster, Granularity, SearchSpace, Variable
-from repro.typeforge.astscan import scan_module, scan_source
+from repro.typeforge.astscan import ModuleScan, scan_module, scan_source
 from repro.typeforge.dependence import DependenceResult, solve
 
 __all__ = ["TypeforgeReport", "analyze", "analyze_sources"]
@@ -30,6 +30,10 @@ class TypeforgeReport:
     dependence: DependenceResult | None = field(
         default=None, hash=False, compare=False, repr=False,
     )
+    scans: tuple[ModuleScan, ...] = field(
+        default=(), hash=False, compare=False, repr=False,
+    )
+    entry: str | None = field(default=None, hash=False, compare=False)
 
     @property
     def total_variables(self) -> int:
@@ -96,6 +100,8 @@ def analyze(
         clusters=tuple(result.clusters),
         name_map=dict(result.name_map),
         dependence=result,
+        scans=tuple(scans),
+        entry=entry,
     )
 
 
@@ -114,4 +120,6 @@ def analyze_sources(
         clusters=tuple(result.clusters),
         name_map=dict(result.name_map),
         dependence=result,
+        scans=tuple(scans),
+        entry=entry,
     )

@@ -1,0 +1,415 @@
+"""Inter-procedural forward dataflow over MPB scan facts.
+
+The Typeforge pass in :mod:`repro.typeforge.dependence` answers *which
+variables must share a type*; this module answers three further
+questions that a purely dynamic search otherwise burns trials on:
+
+* **output-reachability** — does a variable's value flow into the
+  program's verified output (the entry function's return value) or an
+  ``mp_fwrite`` sink?  Variables that never do cannot change the
+  verified error; the prune pass freezes them at the default precision.
+* **must-equal constraints** — accumulator feedback loops
+  (``s = s + ...`` inside a loop) and in-place array update chains
+  (``x[i] = f(x, y)`` inside a loop) couple operand precisions so
+  tightly that exploring them independently wastes trials; the prune
+  pass merges their clusters.
+* **hazard sites** — source locations where mixed-precision
+  configurations can go numerically wrong: narrowing stores,
+  mixed-cluster binops, accumulation loops, cancellation-prone
+  subtractions, tight-tolerance comparisons.  Each carries an MPB2xx
+  rule code and a ``file:line`` location for ``mixpbench lint``.
+
+The analysis is a conservative forward value-flow over *slots*
+(function-local names): assignment and store facts flow right-to-left,
+aliases flow both ways (shared storage), call bindings flow into callee
+parameters (and back out through bare-name arguments, which share
+storage), and tuple returns bind positionally to tuple-unpacking
+callers.  Calls to functions outside the scanned modules (NumPy,
+builtins) are treated as pass-through: everything read in the argument
+list may flow into the call's targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.typeforge.astscan import FunctionScan, ModuleScan, Slot
+from repro.typeforge.dependence import DependenceResult, solve
+
+__all__ = [
+    "MustEqual", "HazardSite", "DataflowResult", "analyze_dataflow",
+    "HAZARD_RULES", "FACT_RULES",
+]
+
+#: MPB1xx — dataflow facts surfaced as informational lint findings
+FACT_RULES = {
+    "MPB101": "variable never flows into verified output (freeze candidate)",
+    "MPB102": "accumulator feedback loop couples operand precisions (merge candidate)",
+    "MPB103": "in-place update chain couples array precisions (merge candidate)",
+}
+
+#: MPB2xx — hazard sites surfaced as lint warnings
+HAZARD_RULES = {
+    "MPB201": "narrowing store: RHS reads a different precision cluster",
+    "MPB202": "binary operation mixes operands from different precision clusters",
+    "MPB203": "reduction/accumulation loop: rounding error grows with trip count",
+    "MPB204": "subtraction of same-kind operands is cancellation-prone",
+    "MPB205": "comparison against a tight tolerance is precision-sensitive",
+}
+
+#: comparisons against literals at or below this magnitude are flagged
+TIGHT_TOLERANCE = 1e-3
+
+
+@dataclass(frozen=True)
+class MustEqual:
+    """Two variables whose precisions the prune pass couples."""
+
+    a: str          # variable uid
+    b: str          # variable uid
+    rule: str       # "MPB102" | "MPB103"
+    function: str
+    file: str | None = None
+    line: int = 0
+    col: int = 0
+
+    def describe(self) -> str:
+        return f"{self.rule}: {self.a} ~ {self.b} ({FACT_RULES[self.rule]})"
+
+
+@dataclass(frozen=True)
+class HazardSite:
+    """One potential mixed-precision hazard, tagged with a rule code."""
+
+    rule: str
+    message: str
+    function: str
+    module: str
+    file: str | None = None
+    line: int = 0
+    col: int = 0
+    names: tuple[str, ...] = ()   # variable uids involved
+
+    def location(self) -> str:
+        base = self.file or self.module
+        return f"{base}:{self.line}:{self.col}"
+
+
+@dataclass
+class DataflowResult:
+    """Everything the forward dataflow analysis learned."""
+
+    entry: str | None
+    dependence: DependenceResult
+    #: forward value-flow edges between slots
+    edges: dict[Slot, set[Slot]] = field(default_factory=dict)
+    #: direct output sinks (entry returns, mp_fwrite arguments)
+    sinks: frozenset[Slot] = frozenset()
+    #: slots whose value can flow into a sink
+    reachable_slots: frozenset[Slot] = frozenset()
+    #: variable uids that can influence the verified output
+    output_relevant: frozenset[str] = frozenset()
+    #: variable uids that provably cannot (freeze candidates)
+    output_irrelevant: frozenset[str] = frozenset()
+    must_equal: tuple[MustEqual, ...] = ()
+    hazards: tuple[HazardSite, ...] = ()
+
+    def reaches_output(self, uid: str) -> bool:
+        """Does variable ``uid``'s value flow into the verified output?"""
+        if uid not in {v.uid for v in self.dependence.variables}:
+            raise KeyError(f"unknown variable: {uid}")
+        return uid in self.output_relevant
+
+    def summary(self) -> dict:
+        return {
+            "entry": self.entry,
+            "sinks": len(self.sinks),
+            "reachable_slots": len(self.reachable_slots),
+            "output_relevant": sorted(self.output_relevant),
+            "output_irrelevant": sorted(self.output_irrelevant),
+            "must_equal": [m.describe() for m in self.must_equal],
+            "hazards": len(self.hazards),
+        }
+
+
+def analyze_dataflow(
+    scans: Iterable[ModuleScan],
+    entry: str | None = None,
+    dependence: DependenceResult | None = None,
+) -> DataflowResult:
+    """Run the forward dataflow analysis over scanned modules."""
+    scans = list(scans)
+    functions: dict[str, FunctionScan] = {}
+    for scan in scans:
+        functions.update(scan.functions)
+    if dependence is None:
+        dependence = solve(scans, entry=entry)
+
+    uid_of_slot = {slot: uid for uid, slot in dependence.slot_of_variable.items()}
+    cluster_of = {
+        uid: cluster.cid
+        for cluster in dependence.clusters
+        for uid in cluster.members
+    }
+    variables = {v.uid: v for v in dependence.variables}
+
+    edges = _build_edges(functions)
+    sinks = _collect_sinks(functions, entry)
+    reachable = _reverse_reachability(edges, sinks)
+
+    relevant = frozenset(
+        uid for slot, uid in uid_of_slot.items() if slot in reachable
+    )
+    irrelevant = frozenset(variables) - relevant
+
+    must_equal = _must_equal_constraints(
+        functions, uid_of_slot, cluster_of, variables
+    )
+    hazards = _hazard_sites(functions, uid_of_slot, cluster_of, variables)
+
+    return DataflowResult(
+        entry=entry,
+        dependence=dependence,
+        edges=edges,
+        sinks=frozenset(sinks),
+        reachable_slots=frozenset(reachable),
+        output_relevant=relevant,
+        output_irrelevant=irrelevant,
+        must_equal=must_equal,
+        hazards=hazards,
+    )
+
+
+# -- graph construction ---------------------------------------------------
+
+def _build_edges(functions: Mapping[str, FunctionScan]) -> dict[Slot, set[Slot]]:
+    edges: dict[Slot, set[Slot]] = {}
+
+    def add(a: Slot, b: Slot) -> None:
+        edges.setdefault(a, set()).add(b)
+
+    for fn in functions.values():
+        here = fn.name
+        for flow in fn.flows:
+            for target in flow.targets:
+                t_slot = Slot(here, target)
+                for source in flow.sources:
+                    add(Slot(here, source), t_slot)
+                if flow.augmented:
+                    add(t_slot, t_slot)
+        for alias in fn.aliases:
+            add(alias.source, alias.target)
+            add(alias.target, alias.source)
+        for cf in fn.callflows:
+            callee = functions.get(cf.callee)
+            targets = tuple(Slot(here, t) for t in cf.targets)
+            if callee is None:
+                # pass-through: an unscanned callable (NumPy, builtins)
+                # may propagate anything it reads into its result
+                for reads in cf.arg_reads:
+                    for read in reads:
+                        for t_slot in targets:
+                            add(Slot(here, read), t_slot)
+                continue
+            for position, reads in enumerate(cf.arg_reads):
+                if position >= len(callee.params):
+                    continue
+                param = Slot(cf.callee, callee.params[position])
+                for read in reads:
+                    add(Slot(here, read), param)
+                bare = cf.arg_names[position]
+                if bare is not None:
+                    # a bare-name argument shares storage with the
+                    # parameter: callee writes flow back to the caller
+                    add(param, Slot(here, bare))
+            for ret in callee.return_flows:
+                if len(ret) == len(targets) and targets:
+                    pairs = zip(ret, targets)
+                else:
+                    pairs = ((reads, t) for reads in ret for t in targets)
+                for reads, t_slot in pairs:
+                    for read in reads:
+                        add(Slot(cf.callee, read), t_slot)
+    return edges
+
+
+def _collect_sinks(
+    functions: Mapping[str, FunctionScan], entry: str | None
+) -> set[Slot]:
+    sinks: set[Slot] = set()
+    if entry is not None and entry in functions:
+        returning = [functions[entry]]
+    else:
+        # without a known entry every return is conservatively a sink
+        returning = list(functions.values())
+    for fn in returning:
+        sinks.update(Slot(fn.name, name) for name in fn.return_reads)
+    for fn in functions.values():
+        for out in fn.outputs:
+            sinks.update(Slot(fn.name, name) for name in out.sources)
+    return sinks
+
+
+def _reverse_reachability(
+    edges: Mapping[Slot, set[Slot]], sinks: set[Slot]
+) -> set[Slot]:
+    """Slots whose value can flow into a sink (sinks included)."""
+    reverse: dict[Slot, list[Slot]] = {}
+    for source, targets in edges.items():
+        for target in targets:
+            reverse.setdefault(target, []).append(source)
+    reached: set[Slot] = set()
+    frontier = list(sinks)
+    while frontier:
+        slot = frontier.pop()
+        if slot in reached:
+            continue
+        reached.add(slot)
+        frontier.extend(reverse.get(slot, ()))
+    return reached
+
+
+# -- must-equal constraints ------------------------------------------------
+
+def _must_equal_constraints(
+    functions: Mapping[str, FunctionScan],
+    uid_of_slot: Mapping[Slot, str],
+    cluster_of: Mapping[str, str],
+    variables: Mapping[str, object],
+) -> tuple[MustEqual, ...]:
+    out: list[MustEqual] = []
+    seen: set[tuple[str, str, str]] = set()
+
+    def emit(a_uid: str, b_uid: str, rule: str, fn: FunctionScan, line: int, col: int) -> None:
+        key = (rule, *sorted((a_uid, b_uid)))
+        if key in seen:
+            return
+        seen.add(key)
+        out.append(MustEqual(
+            a=a_uid, b=b_uid, rule=rule, function=fn.name,
+            file=fn.path, line=line, col=col,
+        ))
+
+    for fn in functions.values():
+        for flow in fn.flows:
+            if not flow.in_loop or len(flow.targets) != 1:
+                continue
+            target = flow.targets[0]
+            feedback = flow.augmented or target in flow.sources
+            if not feedback:
+                continue
+            t_uid = uid_of_slot.get(Slot(fn.name, target))
+            if t_uid is None:
+                continue
+            t_var = variables[t_uid]
+            for source in flow.sources:
+                if source == target:
+                    continue
+                s_uid = uid_of_slot.get(Slot(fn.name, source))
+                if s_uid is None:
+                    continue
+                s_var = variables[s_uid]
+                if cluster_of[t_uid] == cluster_of[s_uid]:
+                    continue  # already unified by the dependence pass
+                if not flow.store and not t_var.is_pointer:
+                    # scalar accumulator: s = s + f(operands); the
+                    # accumulated rounding error tracks the operand
+                    # precision, so searching them separately wastes
+                    # trials
+                    emit(t_uid, s_uid, "MPB102", fn, flow.line, flow.col)
+                elif flow.store and t_var.is_pointer and s_var.is_pointer:
+                    # in-place array update chain: x[i] = f(x, y)
+                    emit(t_uid, s_uid, "MPB103", fn, flow.line, flow.col)
+    return tuple(out)
+
+
+# -- hazard sites ----------------------------------------------------------
+
+def _hazard_sites(
+    functions: Mapping[str, FunctionScan],
+    uid_of_slot: Mapping[Slot, str],
+    cluster_of: Mapping[str, str],
+    variables: Mapping[str, object],
+) -> tuple[HazardSite, ...]:
+    out: list[HazardSite] = []
+    seen: set[tuple] = set()
+
+    def uid(fn: FunctionScan, name: str) -> str | None:
+        return uid_of_slot.get(Slot(fn.name, name))
+
+    def uids(fn: FunctionScan, names: Iterable[str]) -> list[str]:
+        return [u for n in names if (u := uid(fn, n)) is not None]
+
+    def emit(rule: str, message: str, fn: FunctionScan, line: int, col: int,
+             names: Iterable[str]) -> None:
+        involved = tuple(sorted(set(names)))
+        key = (rule, fn.path or fn.module, line, involved)
+        if key in seen:
+            return
+        seen.add(key)
+        out.append(HazardSite(
+            rule=rule, message=message, function=fn.name, module=fn.module,
+            file=fn.path, line=line, col=col, names=involved,
+        ))
+
+    for fn in functions.values():
+        for flow in fn.flows:
+            targets = uids(fn, flow.targets)
+            sources = uids(fn, flow.sources)
+            if flow.store and targets:
+                t_cluster = cluster_of[targets[0]]
+                foreign = [s for s in sources if cluster_of[s] != t_cluster]
+                if foreign:
+                    emit(
+                        "MPB201",
+                        f"store into {targets[0]!r} reads "
+                        f"{', '.join(repr(s) for s in foreign)} from a different "
+                        "precision cluster; the value may be narrowed under "
+                        "mixed configurations",
+                        fn, flow.line, flow.col, targets + foreign,
+                    )
+            if flow.in_loop and len(flow.targets) == 1 and targets:
+                if flow.augmented or flow.targets[0] in flow.sources:
+                    emit(
+                        "MPB203",
+                        f"{targets[0]!r} accumulates across loop iterations; "
+                        "rounding error grows with the trip count",
+                        fn, flow.line, flow.col, targets,
+                    )
+        for binop in fn.binops:
+            left = uids(fn, binop.left)
+            right = uids(fn, binop.right)
+            if binop.op == "-" and left and right:
+                emit(
+                    "MPB204",
+                    f"subtraction of {', '.join(repr(u) for u in left)} and "
+                    f"{', '.join(repr(u) for u in right)} is cancellation-prone "
+                    "when operands are close in magnitude",
+                    fn, binop.line, binop.col, left + right,
+                )
+            if left and right:
+                clusters = {cluster_of[u] for u in left + right}
+                if len(clusters) > 1:
+                    emit(
+                        "MPB202",
+                        f"operands of {binop.op!r} span {len(clusters)} precision "
+                        "clusters; a mixed configuration implies an implicit cast "
+                        "here",
+                        fn, binop.line, binop.col, left + right,
+                    )
+        for compare in fn.compares:
+            involved = uids(fn, compare.names)
+            if not involved:
+                continue
+            tolerance = compare.tolerance
+            if tolerance is not None and 0.0 < tolerance <= TIGHT_TOLERANCE:
+                emit(
+                    "MPB205",
+                    f"comparison of {', '.join(repr(u) for u in involved)} "
+                    f"against tolerance {tolerance:g} can flip under reduced "
+                    "precision",
+                    fn, compare.line, compare.col, involved,
+                )
+    out.sort(key=lambda h: (h.file or h.module, h.line, h.col, h.rule))
+    return tuple(out)

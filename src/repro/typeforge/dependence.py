@@ -164,7 +164,11 @@ def solve(scans: Iterable[ModuleScan], entry: str | None = None) -> DependenceRe
     for scan in scans:
         for name, fn in scan.functions.items():
             if name in functions:
-                raise StyleError(f"function {name!r} defined in more than one module")
+                raise StyleError(
+                    f"function {name!r} defined in more than one module "
+                    f"({functions[name].module} and {fn.module})",
+                    file=fn.path, line=fn.lineno,
+                )
             functions[name] = fn
 
     edge_records = _collect_edges(functions)
@@ -313,7 +317,8 @@ def _check_scalar_consistency(
             if decl.decl_kind == "scalar" and decl.slot in array_slots:
                 raise StyleError(
                     f"{fn.module}.{fn.name}: {decl.slot.name!r} is declared "
-                    "ws.scalar but flows into array (pointer) context"
+                    "ws.scalar but flows into array (pointer) context",
+                    file=fn.path, line=decl.line, col=decl.col,
                 )
 
 
@@ -332,10 +337,17 @@ def _build_name_map(
         if (var.function, var.name) not in declared_slots:
             continue  # inferred array params have no runtime declaration
         if var.name in name_map:
+            fn = functions[var.function]
+            decl = next(
+                (d for d in fn.declarations if d.slot.name == var.name), None
+            )
             raise StyleError(
                 f"declared name {var.name!r} is used in more than one function "
                 f"({name_map[var.name]} and {var.uid}); MPB style requires "
-                "program-wide unique declaration names"
+                "program-wide unique declaration names",
+                file=fn.path,
+                line=decl.line if decl else fn.lineno,
+                col=decl.col if decl else 0,
             )
         name_map[var.name] = var.uid
     return name_map

@@ -1,0 +1,400 @@
+"""``mixpbench lint``: static precision diagnostics for MPB modules.
+
+Runs the scanner, the dependence solver, and the forward dataflow
+analysis over benchmark modules and renders every fact as a *finding*
+with a rule code, a severity, and a source location:
+
+========  ========  =====================================================
+code      severity  meaning
+========  ========  =====================================================
+MPB001    error     the module violates the constrained MPB style
+MPB101    info      variable never flows into the verified output
+MPB102    info      accumulator feedback loop couples operand precisions
+MPB103    info      in-place update chain couples array precisions
+MPB201    warning   narrowing store across precision clusters
+MPB202    warning   binop mixes operands from different clusters
+MPB203    warning   reduction/accumulation loop grows rounding error
+MPB204    warning   cancellation-prone subtraction
+MPB205    warning   comparison against a tight tolerance
+========  ========  =====================================================
+
+Findings are suppressed inline with a trailing comment on the flagged
+line::
+
+    q = q + np.dot(x[lo:hi], z[lo:hi])  # mpb: ignore[MPB203]
+
+``# mpb: ignore`` without a rule list suppresses every rule on that
+line.  Suppressed findings stay in the report (marked) but do not
+affect the exit status.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import BenchmarkNotFound, StyleError
+from repro.typeforge.astscan import ModuleScan, Slot, scan_source
+from repro.typeforge.dataflow import (
+    FACT_RULES,
+    HAZARD_RULES,
+    analyze_dataflow,
+)
+from repro.typeforge.dependence import solve
+
+__all__ = [
+    "LintFinding", "LintReport", "SEVERITIES",
+    "lint_scans", "lint_sources", "lint_file", "lint_benchmark",
+    "resolve_targets", "format_text", "reports_to_json",
+]
+
+SEVERITIES = ("error", "warning", "info")
+
+#: suppression comment: ``# mpb: ignore`` or ``# mpb: ignore[MPB203, ...]``
+_IGNORE_RE = re.compile(
+    r"#\s*mpb:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]*)\])?"
+)
+
+_STYLE_RULE = "MPB001"
+
+
+def _severity(rule: str) -> str:
+    if rule == _STYLE_RULE:
+        return "error"
+    if rule in HAZARD_RULES:
+        return "warning"
+    return "info"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One diagnostic, pinned to a rule code and a source location."""
+
+    rule: str
+    severity: str
+    message: str
+    module: str
+    file: str | None = None
+    line: int = 0
+    col: int = 0
+    function: str | None = None
+    suppressed: bool = False
+
+    def location(self) -> str:
+        base = self.file or self.module
+        return f"{base}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        note = " (suppressed)" if self.suppressed else ""
+        return f"{self.location()}: {self.severity} {self.rule}{note}: {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "module": self.module,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "function": self.function,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings for one lint target (a benchmark or a file)."""
+
+    target: str
+    findings: tuple[LintFinding, ...] = ()
+    modules: tuple[str, ...] = ()
+
+    @property
+    def active(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if not f.suppressed)
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.active if f.severity == severity)
+
+    @property
+    def suppressed_count(self) -> int:
+        return sum(1 for f in self.findings if f.suppressed)
+
+    def worst_severity(self) -> str | None:
+        for severity in SEVERITIES:
+            if self.count(severity):
+                return severity
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "target": self.target,
+            "modules": list(self.modules),
+            "counts": {s: self.count(s) for s in SEVERITIES},
+            "suppressed": self.suppressed_count,
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+
+def _suppressions(scan: ModuleScan) -> dict[int, frozenset[str] | None]:
+    """Per-line suppressed rules; ``None`` means every rule."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(scan.source.splitlines(), start=1):
+        match = _IGNORE_RE.search(text)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None or not rules.strip():
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                r.strip() for r in rules.split(",") if r.strip()
+            )
+    return out
+
+
+def lint_scans(
+    scans: list[ModuleScan], entry: str | None, target: str
+) -> LintReport:
+    """Lint already-scanned modules as one program."""
+    suppressed_by_module: dict[str, dict[int, frozenset[str] | None]] = {
+        scan.module: _suppressions(scan) for scan in scans
+    }
+    module_of_file = {scan.path: scan.module for scan in scans if scan.path}
+
+    def is_suppressed(rule: str, module: str, file: str | None, line: int) -> bool:
+        key = module if module in suppressed_by_module else module_of_file.get(file)
+        lines = suppressed_by_module.get(key, {})
+        if line not in lines:
+            return False
+        rules = lines[line]
+        return rules is None or rule in rules
+
+    findings: list[LintFinding] = []
+
+    def add(rule: str, message: str, *, module: str, file: str | None,
+            line: int, col: int, function: str | None = None) -> None:
+        findings.append(LintFinding(
+            rule=rule,
+            severity=_severity(rule),
+            message=message,
+            module=module,
+            file=file,
+            line=line,
+            col=col,
+            function=function,
+            suppressed=is_suppressed(rule, module, file, line),
+        ))
+
+    try:
+        dependence = solve(scans, entry=entry)
+    except StyleError as error:
+        add(
+            _STYLE_RULE, error.message,
+            module=scans[0].module if scans else target,
+            file=error.file, line=error.line or 0, col=error.col or 0,
+        )
+        return LintReport(
+            target=target,
+            findings=tuple(findings),
+            modules=tuple(s.module for s in scans),
+        )
+
+    dataflow = analyze_dataflow(scans, entry=entry, dependence=dependence)
+
+    declarations: dict[Slot, object] = {}
+    functions = {}
+    for scan in scans:
+        functions.update(scan.functions)
+    for fn in functions.values():
+        for decl in fn.declarations:
+            declarations[decl.slot] = decl
+
+    for uid in sorted(dataflow.output_irrelevant):
+        slot = dependence.slot_of_variable[uid]
+        decl = declarations.get(slot)
+        fn = functions.get(slot.function)
+        add(
+            "MPB101",
+            f"{uid!r} never flows into the verified output; "
+            "`--prune` freezes it at the default precision",
+            module=fn.module if fn else target,
+            file=fn.path if fn else None,
+            line=getattr(decl, "line", 0),
+            col=getattr(decl, "col", 0),
+            function=slot.function,
+        )
+    for constraint in dataflow.must_equal:
+        fn = functions.get(constraint.function)
+        add(
+            constraint.rule,
+            f"{constraint.a!r} and {constraint.b!r} precisions are coupled "
+            f"({FACT_RULES[constraint.rule]})",
+            module=fn.module if fn else target,
+            file=constraint.file,
+            line=constraint.line,
+            col=constraint.col,
+            function=constraint.function,
+        )
+    for hazard in dataflow.hazards:
+        add(
+            hazard.rule, hazard.message,
+            module=hazard.module, file=hazard.file,
+            line=hazard.line, col=hazard.col, function=hazard.function,
+        )
+
+    findings.sort(key=lambda f: (
+        f.file or f.module, f.line, f.col, SEVERITIES.index(f.severity), f.rule,
+    ))
+    return LintReport(
+        target=target,
+        findings=tuple(findings),
+        modules=tuple(s.module for s in scans),
+    )
+
+
+def _style_error_report(
+    error: StyleError, target: str, module: str, modules: tuple[str, ...] = ()
+) -> LintReport:
+    """A report whose single finding is the style violation itself."""
+    finding = LintFinding(
+        rule=_STYLE_RULE,
+        severity="error",
+        message=error.message,
+        module=module,
+        file=error.file,
+        line=error.line or 0,
+        col=error.col or 0,
+    )
+    return LintReport(target=target, findings=(finding,), modules=modules)
+
+
+def lint_sources(
+    sources: dict[str, str], entry: str | None = None, target: str = ""
+) -> LintReport:
+    """Lint raw source texts keyed by module name (tests, ad-hoc use)."""
+    target = target or next(iter(sources))
+    scans = []
+    for name, src in sources.items():
+        try:
+            scans.append(scan_source(src, name))
+        except StyleError as error:
+            return _style_error_report(
+                error, target, name, tuple(s.module for s in scans) + (name,)
+            )
+    return lint_scans(scans, entry, target)
+
+
+def lint_file(path: str | Path, entry: str | None = None) -> LintReport:
+    """Lint one standalone Python file."""
+    path = Path(path)
+    source = path.read_text()
+    try:
+        scan = scan_source(source, path.stem, path=str(path))
+    except StyleError as error:
+        return _style_error_report(error, str(path), path.stem, (path.stem,))
+    return lint_scans([scan], entry, str(path))
+
+
+def lint_benchmark(name: str) -> LintReport:
+    """Lint a registered benchmark (all of its modules, with its entry)."""
+    import importlib
+
+    from repro.benchmarks import get_benchmark
+    from repro.typeforge.astscan import scan_module
+
+    benchmark = get_benchmark(name)
+    module_names = (benchmark.module_name, *getattr(benchmark, "extra_module_names", ()))
+    scans = []
+    for module_name in module_names:
+        module = importlib.import_module(module_name)
+        try:
+            scans.append(scan_module(module))
+        except StyleError as error:
+            return _style_error_report(
+                error, name, module_name,
+                tuple(s.module for s in scans) + (module_name,),
+            )
+    return lint_scans(scans, benchmark.entry, name)
+
+
+def resolve_targets(targets: list[str]) -> list[LintReport]:
+    """Lint benchmark names, Python files, or directories.
+
+    * no targets — every registered benchmark;
+    * a registered benchmark name — that benchmark's modules;
+    * a ``.py`` file — linted standalone;
+    * a directory — every registered benchmark whose main module lives
+      under it (so ``mixpbench lint src/repro/benchmarks`` covers the
+      whole suite), plus any ``.py`` files in it that belong to no
+      registered benchmark are skipped.
+    """
+    import importlib
+
+    from repro.benchmarks import available_benchmarks, get_benchmark
+
+    if not targets:
+        return [lint_benchmark(name) for name in available_benchmarks()]
+
+    reports: list[LintReport] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            base = path.resolve()
+            matched = False
+            for name in available_benchmarks():
+                benchmark = get_benchmark(name)
+                module = importlib.import_module(benchmark.module_name)
+                module_file = Path(getattr(module, "__file__", "")).resolve()
+                if base in module_file.parents:
+                    reports.append(lint_benchmark(name))
+                    matched = True
+            if not matched:
+                raise BenchmarkNotFound(
+                    f"no registered benchmark modules under {target!r}"
+                )
+        elif path.suffix == ".py" and path.exists():
+            reports.append(lint_file(path))
+        else:
+            reports.append(lint_benchmark(target))
+    return reports
+
+
+def format_text(reports: list[LintReport], *, show_suppressed: bool = False) -> str:
+    """Human-readable multi-target lint output."""
+    lines: list[str] = []
+    totals = dict.fromkeys(SEVERITIES, 0)
+    suppressed = 0
+    for report in reports:
+        shown = [
+            f for f in report.findings
+            if show_suppressed or not f.suppressed
+        ]
+        header = f"== {report.target}"
+        worst = report.worst_severity()
+        header += f" ({worst})" if worst else " (clean)"
+        lines.append(header)
+        for finding in shown:
+            lines.append("  " + finding.render())
+        for severity in SEVERITIES:
+            totals[severity] += report.count(severity)
+        suppressed += report.suppressed_count
+    summary = ", ".join(f"{totals[s]} {s}s" for s in SEVERITIES)
+    if suppressed:
+        summary += f", {suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def reports_to_json(reports: list[LintReport]) -> dict:
+    totals = {
+        severity: sum(r.count(severity) for r in reports)
+        for severity in SEVERITIES
+    }
+    return {
+        "targets": [r.to_json() for r in reports],
+        "totals": totals,
+        "suppressed": sum(r.suppressed_count for r in reports),
+    }

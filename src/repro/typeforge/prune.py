@@ -1,0 +1,147 @@
+"""Static search-space pruning from dataflow facts.
+
+Consumes the facts computed by :mod:`repro.typeforge.dataflow` and
+produces a reduced :class:`~repro.core.variables.SearchSpace`:
+
+* **freeze** — variables whose values provably never flow into the
+  verified output are pinned at the default (double) precision and
+  removed from the space.  Freezing is applied per *cluster*: a cluster
+  is frozen only when none of its members is output-relevant, because
+  freezing part of a cluster would forbid lowering the rest without a
+  cluster split.
+* **merge** — must-equal constraints (accumulator feedback loops,
+  in-place update chains) unify clusters, so cluster-granularity
+  searches see one location where they saw several.
+
+Both operations *restrict* the space: every configuration admissible
+in the pruned space is also admissible in the original space (frozen
+variables at double) and evaluates to the identical verified error, so
+pruning can never manufacture a configuration the unpruned search
+could not have found.  The property test in
+``tests/test_prop_typeforge.py`` checks exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.variables import Granularity, SearchSpace
+from repro.typeforge.clusters import TypeforgeReport
+from repro.typeforge.dataflow import DataflowResult, MustEqual, analyze_dataflow
+
+__all__ = ["PruneResult", "prune_space", "prune_report"]
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """A pruned search space plus the provenance of every reduction."""
+
+    space: SearchSpace
+    #: variable uids pinned at default precision (whole clusters only)
+    frozen: frozenset[str]
+    #: must-equal constraints that actually unified distinct clusters
+    merges: tuple[MustEqual, ...]
+    dataflow: DataflowResult
+
+    @property
+    def frozen_count(self) -> int:
+        return len(self.frozen)
+
+    @property
+    def merged_count(self) -> int:
+        return len(self.merges)
+
+    def stats(self, original: SearchSpace) -> dict:
+        """Before/after numbers for reporting next to Table II."""
+        return {
+            "tv_before": original.total_variables,
+            "tv_after": self.space.total_variables,
+            "tc_before": original.total_clusters,
+            "tc_after": self.space.total_clusters,
+            "locations_before": len(original.locations()),
+            "locations_after": len(self.space.locations()),
+            "frozen": sorted(self.frozen),
+            "merged": [f"{m.a}~{m.b} [{m.rule}]" for m in self.merges],
+        }
+
+    def describe(self, original: SearchSpace) -> str:
+        s = self.stats(original)
+        return (
+            f"pruned {s['locations_before']} -> {s['locations_after']} locations "
+            f"(TV {s['tv_before']} -> {s['tv_after']}, "
+            f"TC {s['tc_before']} -> {s['tc_after']}; "
+            f"{len(s['frozen'])} frozen, {len(s['merged'])} merged)"
+        )
+
+
+def prune_space(
+    space: SearchSpace, dataflow: DataflowResult
+) -> PruneResult:
+    """Restrict ``space`` using the given dataflow facts."""
+    cluster_of = {
+        uid: cluster.cid for cluster in space.clusters for uid in cluster.members
+    }
+
+    # Union clusters across must-equal constraints first: freezing must
+    # respect the *merged* partition, or a frozen cluster could be
+    # merged with a live one.
+    parent = {c.cid: c.cid for c in space.clusters}
+
+    def find(cid: str) -> str:
+        while parent[cid] != cid:
+            parent[cid] = parent[parent[cid]]
+            cid = parent[cid]
+        return cid
+
+    effective: list[MustEqual] = []
+    for constraint in dataflow.must_equal:
+        if constraint.a not in cluster_of or constraint.b not in cluster_of:
+            continue  # constraint mentions a non-searchable slot
+        ra, rb = find(cluster_of[constraint.a]), find(cluster_of[constraint.b])
+        if ra == rb:
+            continue  # already unified (by aliasing or an earlier merge)
+        parent[rb] = ra
+        effective.append(constraint)
+
+    groups: dict[str, set[str]] = {}
+    for cluster in space.clusters:
+        groups.setdefault(find(cluster.cid), set()).update(cluster.members)
+
+    frozen: set[str] = set()
+    for members in groups.values():
+        if not any(uid in dataflow.output_relevant for uid in members):
+            frozen.update(members)
+
+    pruned = space.restrict(
+        freeze=frozen,
+        merge=[(m.a, m.b) for m in effective],
+    )
+    return PruneResult(
+        space=pruned,
+        frozen=frozenset(frozen),
+        merges=tuple(effective),
+        dataflow=dataflow,
+    )
+
+
+def prune_report(
+    report: TypeforgeReport,
+    granularity: Granularity = Granularity.CLUSTER,
+    dataflow: DataflowResult | None = None,
+) -> PruneResult:
+    """Prune the search space of an analysed program.
+
+    Convenience wrapper: runs the dataflow analysis over the report's
+    retained scans (unless one is supplied) and restricts the report's
+    search space.
+    """
+    if dataflow is None:
+        if not report.scans:
+            raise ValueError(
+                "this report carries no module scans; re-analyse the "
+                "program with repro.typeforge.analyze to enable pruning"
+            )
+        dataflow = analyze_dataflow(
+            report.scans, entry=report.entry, dependence=report.dependence
+        )
+    return prune_space(report.search_space(granularity), dataflow)

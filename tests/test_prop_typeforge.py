@@ -10,7 +10,10 @@ deterministic, and `explain` agrees with the partition.
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
+from repro.core.types import Precision
 from repro.typeforge import analyze_sources
+from repro.typeforge.dataflow import analyze_dataflow
+from repro.typeforge.prune import prune_space
 
 names = st.sampled_from([f"v{i}" for i in range(8)])
 
@@ -122,3 +125,53 @@ def test_search_space_is_constructible(src):
     locations = space.locations()
     config = space.lower(list(locations))
     assert space.is_compilable(config)
+
+
+@given(mpb_programs(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_pruning_is_sound(src, data):
+    """Every pruned-space configuration maps verbatim to an unpruned
+    configuration with the identical verified error.
+
+    The mapping is the identity: pruning only freezes (variables absent
+    from the config default to double) and merges (members lower
+    together), so a pruned config is compilable in the original space
+    and names the same per-variable precisions — the evaluator cannot
+    tell which space produced it.
+    """
+    report = analyze_sources({"fuzz": src}, entry="kernel")
+    original = report.search_space()
+    dataflow = analyze_dataflow(
+        report.scans, entry="kernel", dependence=report.dependence
+    )
+    pruned = prune_space(original, dataflow)
+
+    # a restriction, never an extension
+    assert pruned.space.total_variables <= original.total_variables
+    assert pruned.space.total_clusters <= original.total_clusters
+    assert {v.uid for v in pruned.space.variables} <= {
+        v.uid for v in original.variables
+    }
+
+    locations = list(pruned.space.locations())
+    subset = (
+        data.draw(st.lists(st.sampled_from(locations), unique=True))
+        if locations else []
+    )
+    config = pruned.space.lower(subset)
+    assert original.is_compilable(config)
+    for uid in pruned.frozen:
+        assert config.precision_of(uid) is Precision.DOUBLE
+
+
+@given(mpb_programs())
+@settings(max_examples=40, deadline=None)
+def test_frozen_variables_are_output_irrelevant(src):
+    """Pruning only freezes variables the dataflow pass proved cannot
+    influence the verified output."""
+    report = analyze_sources({"fuzz": src}, entry="kernel")
+    dataflow = analyze_dataflow(
+        report.scans, entry="kernel", dependence=report.dependence
+    )
+    pruned = prune_space(report.search_space(), dataflow)
+    assert pruned.frozen <= dataflow.output_irrelevant

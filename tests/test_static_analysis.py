@@ -1,0 +1,469 @@
+"""Tests for the precision dataflow analyzer, pruner, and linter.
+
+Covers the three layers added on top of the dependence solver:
+:mod:`repro.typeforge.dataflow` (output-reachability, must-equal
+constraints, hazard sites), :mod:`repro.typeforge.prune` (sound static
+search-space reduction), and :mod:`repro.typeforge.lint` (rule-coded
+findings with inline suppressions), plus their CLI surfaces.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarks.base import get_benchmark
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.types import Precision
+from repro.core.variables import Cluster, SearchSpace, Variable, VariableKind
+from repro.errors import BenchmarkNotFound
+from repro.harness.cli import main
+from repro.harness.reporting import format_prune_stats
+from repro.search.registry import make_strategy
+from repro.typeforge import analyze_sources
+from repro.typeforge.astscan import scan_source
+from repro.typeforge.dataflow import analyze_dataflow
+from repro.typeforge.lint import (
+    format_text, lint_benchmark, lint_sources, reports_to_json, resolve_targets,
+)
+from repro.typeforge.prune import prune_report, prune_space
+from repro.verify.quality import QualitySpec
+
+ACCUMULATOR = """
+def k(ws, n):
+    x = ws.array('x', 8)
+    s = ws.scalar('s', 0.0)
+    for i in range(n):
+        s = s + x[i]
+    return s
+"""
+
+IN_PLACE = """
+def k(ws, n):
+    x = ws.array('x', 8)
+    y = ws.array('y', 8)
+    for i in range(n):
+        x[i] = x[i] + y[i]
+    return x
+"""
+
+FREEZE_AND_MERGE = """
+def k(ws, n):
+    x = ws.array('x', 8)
+    s = ws.scalar('s', 0.0)
+    junk = ws.scalar('junk', 0.0)
+    junk = junk + 2.0
+    for i in range(n):
+        s = s + x[i]
+    return s
+"""
+
+
+def dataflow_of(src, entry="k"):
+    return analyze_dataflow([scan_source(src, "m")], entry=entry)
+
+
+def rules_of(df):
+    return {h.rule for h in df.hazards}
+
+
+class TestDataflow:
+    def test_accumulator_must_equal(self):
+        df = dataflow_of(ACCUMULATOR)
+        assert [(m.rule, m.a, m.b) for m in df.must_equal] == [
+            ("MPB102", "k.s", "k.x"),
+        ]
+        assert "MPB203" in rules_of(df)
+
+    def test_in_place_chain_must_equal(self):
+        df = dataflow_of(IN_PLACE)
+        assert [(m.rule, m.a, m.b) for m in df.must_equal] == [
+            ("MPB103", "k.x", "k.y"),
+        ]
+        assert "MPB201" in rules_of(df)
+
+    def test_cancellation_subtraction_flagged(self):
+        df = dataflow_of(
+            "def k(ws):\n"
+            " a = ws.array('a', 4)\n"
+            " b = ws.array('b', 4)\n"
+            " d = ws.scalar('d', 0.0)\n"
+            " d = a[0] - b[0]\n"
+            " return d\n"
+        )
+        assert {"MPB204", "MPB202"} <= rules_of(df)
+
+    def test_tight_tolerance_flagged(self):
+        df = dataflow_of(
+            "def k(ws):\n"
+            " e = ws.scalar('e', 1.0)\n"
+            " if e < 1e-6:\n"
+            "  return e\n"
+            " return e\n"
+        )
+        assert "MPB205" in rules_of(df)
+
+    def test_loose_tolerance_not_flagged(self):
+        df = dataflow_of(
+            "def k(ws):\n"
+            " e = ws.scalar('e', 1.0)\n"
+            " if e < 0.5:\n"
+            "  return e\n"
+            " return e\n"
+        )
+        assert "MPB205" not in rules_of(df)
+
+    def test_unreferenced_accumulator_is_output_irrelevant(self):
+        df = dataflow_of(FREEZE_AND_MERGE)
+        assert df.output_irrelevant == {"k.junk"}
+        assert df.reaches_output("k.s")
+        assert not df.reaches_output("k.junk")
+
+    def test_mp_fwrite_is_a_sink(self):
+        df = dataflow_of(
+            "def k(ws, path):\n"
+            " out = ws.array('out', 4)\n"
+            " mp_fwrite(ws, out, path)\n"
+        )
+        assert df.output_relevant == {"k.out"}
+        assert not df.output_irrelevant
+
+    def test_reaches_output_rejects_unknown_uid(self):
+        df = dataflow_of(ACCUMULATOR)
+        with pytest.raises(KeyError, match="ghost"):
+            df.reaches_output("k.ghost")
+
+    def test_flow_through_helper_call(self):
+        # values passed through a helper still reach the entry's return
+        df = dataflow_of(
+            "def scale(ws, v):\n"
+            " v[:] = v * 0.5\n"
+            "def k(ws):\n"
+            " data = ws.array('data', 8)\n"
+            " coef = ws.scalar('coef', 2.0)\n"
+            " scale(ws, data)\n"
+            " return data\n"
+        )
+        assert "k.data" in df.output_relevant
+        assert "scale.v" in df.output_relevant
+        assert "k.coef" in df.output_irrelevant
+
+    def test_summary_shape(self):
+        summary = dataflow_of(FREEZE_AND_MERGE).summary()
+        assert summary["entry"] == "k"
+        assert summary["output_irrelevant"] == ["k.junk"]
+        assert summary["must_equal"]
+        assert summary["hazards"] > 0
+
+    def test_hazards_are_located_and_sorted(self):
+        df = dataflow_of(IN_PLACE)
+        assert all(h.line > 0 for h in df.hazards)
+        keys = [(h.file or h.module, h.line, h.col, h.rule) for h in df.hazards]
+        assert keys == sorted(keys)
+
+
+class TestPrune:
+    def test_freeze_and_merge(self):
+        report = analyze_sources({"m": FREEZE_AND_MERGE}, entry="k")
+        result = prune_report(report)
+        original = report.search_space()
+        assert result.frozen == {"k.junk"}
+        assert [(m.a, m.b) for m in result.merges] == [("k.s", "k.x")]
+        assert result.space.locations() == ("k.s",)
+        stats = result.stats(original)
+        assert stats["locations_before"] == 3
+        assert stats["locations_after"] == 1
+        assert stats["merged"] == ["k.s~k.x [MPB102]"]
+        assert "1 frozen, 1 merged" in result.describe(original)
+
+    def test_nothing_to_prune_is_identity(self):
+        report = analyze_sources(
+            {"m": "def k(ws):\n x = ws.array('x', 4)\n return x\n"},
+            entry="k",
+        )
+        result = prune_report(report)
+        assert not result.frozen and not result.merges
+        assert result.space.locations() == report.search_space().locations()
+
+    def test_pruned_configs_are_admissible_in_original(self):
+        report = analyze_sources({"m": FREEZE_AND_MERGE}, entry="k")
+        result = prune_report(report)
+        original = report.search_space()
+        for location in result.space.locations():
+            config = result.space.lower(location)
+            assert original.is_compilable(config)
+            for uid in result.frozen:
+                assert config.precision_of(uid) is Precision.DOUBLE
+
+    def test_prune_report_requires_scans(self):
+        report = analyze_sources({"m": ACCUMULATOR}, entry="k")
+        bare = dataclasses.replace(report, scans=())
+        with pytest.raises(ValueError, match="no module scans"):
+            prune_report(bare)
+
+    def test_prune_space_skips_non_searchable_constraints(self):
+        # a space narrower than the dataflow facts (e.g. pre-restricted)
+        # must not crash on constraints that mention removed variables
+        report = analyze_sources({"m": FREEZE_AND_MERGE}, entry="k")
+        df = analyze_dataflow(report.scans, entry="k", dependence=report.dependence)
+        narrowed = report.search_space().restrict(freeze=["k.s", "k.x"])
+        result = prune_space(narrowed, df)
+        assert not result.merges
+        assert result.frozen == {"k.junk"}
+
+
+def two_cluster_space():
+    variables = [
+        Variable("a", VariableKind.ARRAY, "f"),
+        Variable("b", VariableKind.ARRAY, "f"),
+        Variable("c", VariableKind.SCALAR, "f"),
+    ]
+    clusters = [
+        Cluster("f.a", frozenset({"f.a", "f.b"})),
+        Cluster("f.c", frozenset({"f.c"})),
+    ]
+    return SearchSpace(variables, clusters)
+
+
+class TestRestrict:
+    def test_freeze_removes_whole_cluster(self):
+        space = two_cluster_space().restrict(freeze=["f.a", "f.b"])
+        assert space.locations() == ("f.c",)
+        assert space.total_variables == 1
+
+    def test_merge_unifies_clusters(self):
+        space = two_cluster_space().restrict(merge=[("f.a", "f.c")])
+        assert space.total_clusters == 1
+        assert space.total_variables == 3
+
+    def test_freeze_unknown_variable_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            two_cluster_space().restrict(freeze=["f.ghost"])
+
+    def test_partial_cluster_freeze_rejected(self):
+        with pytest.raises(ValueError, match="whole clusters"):
+            two_cluster_space().restrict(freeze=["f.a"])
+
+    def test_merge_unknown_variable_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            two_cluster_space().restrict(merge=[("f.a", "f.ghost")])
+
+    def test_frozen_cluster_merged_with_live_one_rejected(self):
+        with pytest.raises(ValueError, match="merged clusters"):
+            two_cluster_space().restrict(
+                freeze=["f.a", "f.b"], merge=[("f.a", "f.c")],
+            )
+
+
+class TestPruneSearchEquivalence:
+    """ISSUE acceptance: pruning shrinks the space but the best found
+    configuration's verified error matches the unpruned search's."""
+
+    @pytest.mark.parametrize("name", ["innerprod", "kmeans"])
+    def test_best_error_unchanged(self, name, data_env):
+        outcomes = {}
+        for prune in (False, True):
+            bench = get_benchmark(name)
+            quality = QualitySpec(bench.metric, bench.default_threshold)
+            kwargs = {}
+            if prune:
+                report = bench.report()
+                pruned = prune_report(report)
+                kwargs = dict(
+                    space_override=pruned.space,
+                    prune_info=pruned.stats(report.search_space()),
+                )
+            evaluator = ConfigurationEvaluator(bench, quality=quality, **kwargs)
+            strategy = make_strategy("DD")
+            outcomes[prune] = (
+                strategy.run(evaluator),
+                len(evaluator.space(strategy.granularity).locations()),
+            )
+        (plain, full_locs), (pruned_out, pruned_locs) = outcomes[False], outcomes[True]
+        assert pruned_locs < full_locs
+        assert pruned_out.found_solution == plain.found_solution
+        assert pruned_out.error_value == plain.error_value
+        assert pruned_out.metadata["prune"]["locations_after"] == pruned_locs
+
+
+class TestLint:
+    def test_findings_have_rules_severities_locations(self):
+        report = lint_sources({"m": ACCUMULATOR}, entry="k", target="t")
+        assert report.findings
+        for finding in report.findings:
+            assert finding.rule.startswith("MPB")
+            assert finding.severity in ("error", "warning", "info")
+            assert ":" in finding.location()
+        assert report.worst_severity() == "warning"
+
+    def test_style_error_becomes_mpb001(self):
+        report = lint_sources(
+            {"m": "def k(ws):\n y = ws.array('x', 4)\n"}, target="t",
+        )
+        assert [f.rule for f in report.findings] == ["MPB001"]
+        finding = report.findings[0]
+        assert finding.severity == "error"
+        assert finding.line == 2
+        assert report.worst_severity() == "error"
+
+    def test_suppression_with_rule_list(self):
+        src = ACCUMULATOR.replace(
+            "s = s + x[i]", "s = s + x[i]  # mpb: ignore[MPB203]",
+        )
+        report = lint_sources({"m": src}, entry="k", target="t")
+        by_rule = {f.rule: f for f in report.findings}
+        assert by_rule["MPB203"].suppressed
+        assert not by_rule["MPB202"].suppressed
+        assert report.suppressed_count == 1
+        assert all(f.rule != "MPB203" for f in report.active)
+
+    def test_bare_suppression_covers_every_rule(self):
+        src = ACCUMULATOR.replace("s = s + x[i]", "s = s + x[i]  # mpb: ignore")
+        report = lint_sources({"m": src}, entry="k", target="t")
+        on_line = [f for f in report.findings if f.line == 6]
+        assert on_line and all(f.suppressed for f in on_line)
+
+    def test_suppressed_findings_do_not_count(self):
+        src = ACCUMULATOR.replace(
+            "s = s + x[i]", "s = s + x[i]  # mpb: ignore[MPB202,MPB203]",
+        )
+        report = lint_sources({"m": src}, entry="k", target="t")
+        assert report.count("warning") == 0
+
+    def test_format_text_and_json_agree(self):
+        reports = [lint_sources({"m": ACCUMULATOR}, entry="k", target="t")]
+        text = format_text(reports)
+        assert "== t (warning)" in text
+        assert "MPB203" in text
+        payload = reports_to_json(reports)
+        assert payload["totals"]["warning"] == reports[0].count("warning")
+        assert payload["targets"][0]["target"] == "t"
+
+    def test_benchmarks_lint_without_errors(self):
+        # the whole registered suite must be MPB001-clean
+        report = lint_benchmark("kmeans")
+        assert report.count("error") == 0
+        assert report.modules
+
+    def test_resolve_targets_directory(self):
+        import repro.benchmarks
+
+        suite_dir = str(Path(repro.benchmarks.__file__).parent)
+        reports = resolve_targets([suite_dir])
+        assert len(reports) == 17
+
+    def test_resolve_targets_rejects_foreign_directory(self, tmp_path):
+        with pytest.raises(BenchmarkNotFound):
+            resolve_targets([str(tmp_path)])
+
+    def test_resolve_targets_python_file(self, tmp_path):
+        target = tmp_path / "kernel.py"
+        target.write_text(ACCUMULATOR)
+        reports = resolve_targets([str(target)])
+        assert reports[0].target == str(target)
+        assert all(f.file == str(target) for f in reports[0].findings)
+
+
+class TestCLI:
+    def test_lint_exit_zero_on_warnings(self, capsys):
+        assert main(["lint", "innerprod"]) == 0
+        out = capsys.readouterr().out
+        assert "== innerprod" in out
+        assert "MPB" in out
+
+    def test_lint_fail_on_warning(self):
+        assert main(["lint", "innerprod", "--fail-on", "warning"]) == 1
+
+    def test_lint_fail_on_never(self):
+        assert main(["lint", "innerprod", "--fail-on", "never"]) == 0
+
+    def test_lint_json_format(self, capsys):
+        assert main(["lint", "innerprod", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["targets"][0]["target"] == "innerprod"
+        assert set(payload["totals"]) == {"error", "warning", "info"}
+
+    def test_lint_unknown_target_is_cli_error(self, capsys):
+        assert main(["lint", "no-such-benchmark"]) == 2
+        assert "mixpbench: error" in capsys.readouterr().err
+
+    def test_lint_style_error_rendered_with_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def k(ws):\n y = ws.array('x', 4)\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:2:" in out
+        assert "MPB001" in out
+
+    def test_analyze_prune_flag(self, capsys):
+        assert main(["analyze", "kmeans", "--prune"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 11 -> 7 locations" in out
+        assert "kmeans_clustering.delta" in out
+
+    def test_search_prune_flag(self, capsys, data_env):
+        assert main([
+            "search", "kmeans", "--algorithm", "DD",
+            "--prune", "--no-cache",
+            "--output-dir", str(data_env / "out"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruned: 11 -> 7 locations (4 frozen, 0 merged)" in out
+
+
+def _load_prune_golden():
+    path = Path(__file__).parent / "data" / "prune_golden.json"
+    return json.loads(path.read_text())
+
+
+PRUNE_GOLDEN = _load_prune_golden()
+
+
+class TestPruneGolden:
+    """Pin TV/TC before and after pruning for the whole suite.
+
+    The "before" columns are the repo's reproduced Table II; the
+    "after" columns pin what the static pruner removes.  Any analyzer
+    change that shifts either shows up here as an explicit diff against
+    ``tests/data/prune_golden.json``.
+    """
+
+    def test_every_benchmark_is_pinned(self):
+        from repro.benchmarks.base import available_benchmarks
+
+        assert sorted(PRUNE_GOLDEN) == sorted(available_benchmarks())
+        assert len(PRUNE_GOLDEN) == 17
+
+    @pytest.mark.parametrize("name", sorted(PRUNE_GOLDEN))
+    def test_prune_stats_match_golden(self, name):
+        expected = PRUNE_GOLDEN[name]
+        report = get_benchmark(name).report()
+        stats = prune_report(report).stats(report.search_space())
+        assert stats["tv_before"] == expected["tv"]
+        assert stats["tc_before"] == expected["tc"]
+        assert stats["tv_after"] == expected["tv_pruned"]
+        assert stats["tc_after"] == expected["tc_pruned"]
+        assert stats["frozen"] == expected["frozen"]
+        assert stats["merged"] == expected["merged"]
+
+    def test_at_least_five_benchmarks_reduce(self):
+        reduced = [
+            name for name, row in PRUNE_GOLDEN.items()
+            if (row["tv_pruned"], row["tc_pruned"]) != (row["tv"], row["tc"])
+        ]
+        assert len(reduced) >= 5
+        assert {"cfd", "innerprod", "int-predict", "kmeans", "lavamd"} <= set(reduced)
+
+
+class TestFormatPruneStats:
+    def test_empty_renders_dash(self):
+        assert format_prune_stats({}) == "-"
+        assert format_prune_stats(None) == "-"
+
+    def test_counts_rendered(self):
+        stats = {
+            "locations_before": 11, "locations_after": 7,
+            "frozen": ["a", "b", "c", "d"], "merged": [],
+        }
+        assert format_prune_stats(stats) == "11 -> 7 locations (4 frozen, 0 merged)"

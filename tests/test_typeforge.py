@@ -221,6 +221,79 @@ class TestDependenceRules:
         assert variables["k.data"].module == "main"
 
 
+class TestDependenceEdgeCases:
+    def test_self_alias_is_harmless(self):
+        src = "def k(ws):\n x = ws.array('x', 4)\n x = x\n"
+        report = analyze(src)
+        assert report.total_variables == 1
+        assert report.total_clusters == 1
+
+    def test_return_into_subscript_does_not_unify(self):
+        # a[0] = make(ws): the scalar lands in an array *element*, which
+        # is a legal cast — the scalar and the array stay independent
+        src = (
+            "def make(ws):\n s = ws.scalar('s', 1.0)\n return s\n"
+            "def k(ws):\n a = ws.array('a', 4)\n a[0] = make(ws)\n"
+        )
+        report = analyze(src, entry="k")
+        assert report.total_variables == 2
+        assert report.total_clusters == 2
+
+    def test_return_into_subscript_flows_to_output(self):
+        # ...but the dataflow pass still sees the value reach the output
+        from repro.typeforge.dataflow import analyze_dataflow
+
+        src = (
+            "def make(ws):\n s = ws.scalar('s', 1.0)\n return s\n"
+            "def k(ws):\n a = ws.array('a', 4)\n a[0] = make(ws)\n return a\n"
+        )
+        report = analyze(src, entry="k")
+        dataflow = analyze_dataflow(report.scans, entry="k", dependence=report.dependence)
+        assert dataflow.output_relevant == {"k.a", "make.s"}
+
+
+class TestStyleErrorLocations:
+    def test_scan_error_carries_line_and_col(self):
+        with pytest.raises(StyleError) as excinfo:
+            analyze("def k(ws):\n y = ws.array('x', 4)\n")
+        error = excinfo.value
+        assert error.line == 2
+        assert error.col and error.col > 0
+        assert str(error).startswith(f"{error.line}:{error.col}: ")
+
+    def test_solver_error_carries_location(self):
+        src = (
+            "def f(ws):\n x = ws.array('x', 1)\n"
+            "def g(ws):\n x = ws.array('x', 1)\n"
+        )
+        with pytest.raises(StyleError) as excinfo:
+            analyze(src)
+        assert excinfo.value.line == 4  # the second, conflicting declaration
+
+    def test_location_includes_file_when_scanned_from_path(self, tmp_path):
+        from repro.typeforge.astscan import scan_source
+
+        path = tmp_path / "bad.py"
+        source = (
+            "def k(ws):\n s = ws.scalar('s', 1.0)\n f2(ws, s)\n"
+            "def f2(ws, arr):\n arr[0] = 1.0\n"
+        )
+        path.write_text(source)
+        with pytest.raises(StyleError) as excinfo:
+            from repro.typeforge.dependence import solve
+
+            solve([scan_source(source, "bad", path=str(path))])
+        error = excinfo.value
+        assert error.file == str(path)
+        assert str(error).startswith(f"{path}:")
+        assert error.location.startswith(str(path))
+
+    def test_location_none_renders_bare_message(self):
+        error = StyleError("plain")
+        assert error.location is None
+        assert str(error) == "plain"
+
+
 class TestReport:
     def test_search_space_construction(self):
         report = analyze(LISTING1, entry="foo")
@@ -267,6 +340,50 @@ class TestUnionFind:
         uf.union("a", "b")
         uf.union("a", "b")
         assert len(uf.groups()) == 1
+
+    def test_find_applies_path_halving(self):
+        # White-box: build the degenerate chain 4 -> 3 -> 2 -> 1 -> 0
+        # by hand; one find(4) must rewire every visited node to its
+        # grandparent, halving the path.
+        uf = UnionFind()
+        for item in range(5):
+            uf.add(item)
+        for item in range(1, 5):
+            uf._parent[item] = item - 1
+        assert uf.find(4) == 0
+        assert uf._parent[4] == 2  # grandparent, not 3
+        assert uf._parent[2] == 0
+        # a second find walks the halved path and fully flattens it
+        assert uf.find(4) == 0
+        assert uf._parent[4] == 0
+
+    def test_union_by_rank_attaches_shallow_under_deep(self):
+        uf = UnionFind()
+        uf.union("a", "b")       # rank(root{a,b}) becomes 1
+        deep_root = uf.find("a")
+        uf.union("c", "a")       # rank 0 joins rank 1: root unchanged
+        assert uf.find("c") == deep_root
+        assert uf._rank[deep_root] == 1
+
+    def test_rank_tie_increments_winner(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("c", "d")
+        first, second = uf.find("a"), uf.find("c")
+        assert uf._rank[first] == uf._rank[second] == 1
+        uf.union("a", "c")       # tie: merged root's rank must grow
+        root = uf.find("a")
+        assert uf._rank[root] == 2
+        assert {uf.find(x) for x in "abcd"} == {root}
+
+    def test_roots_are_fixpoints(self):
+        uf = UnionFind()
+        for pair in [("a", "b"), ("c", "d"), ("b", "c"), ("e", "f")]:
+            uf.union(*pair)
+        for item in "abcdef":
+            root = uf.find(item)
+            assert uf.find(root) == root
+            assert uf._parent[root] == root
 
 
 class TestExplain:
