@@ -136,6 +136,18 @@ class ConfigurationEvaluator:
     prune_info:
         Free-form provenance for the override (frozen/merged counts),
         surfaced in search outcome metadata and reports.
+    location_order:
+        Optional :class:`~repro.shadow.order.ShadowOrder` (or anything
+        with its ``arrange(locations, space)`` shape).  Search
+        strategies consult it through
+        ``SearchStrategy.ordered_locations`` to enumerate locations
+        most-sensitive-first; ``None`` (the default) keeps every
+        strategy byte-identical to the unguided behaviour.  Like the
+        space override, it never changes what one evaluation returns.
+    shadow_info:
+        Free-form provenance for the order (shadow-run summary),
+        surfaced in search outcome metadata and reports alongside
+        ``prune_info``.
     """
 
     def __init__(
@@ -153,6 +165,8 @@ class ConfigurationEvaluator:
         trace: TraceWriter | None = None,
         space_override: SearchSpace | None = None,
         prune_info: dict | None = None,
+        location_order=None,
+        shadow_info: dict | None = None,
     ) -> None:
         self.program = program
         self.quality = quality if quality is not None else program.quality
@@ -175,6 +189,8 @@ class ConfigurationEvaluator:
         self._cluster_space = program.search_space(Granularity.CLUSTER)
         self.space_override = space_override
         self.prune_info = prune_info
+        self.location_order = location_order
+        self.shadow_info = shadow_info
         self._cache: dict[PrecisionConfig, TrialRecord] = {}
         self._staged: dict[PrecisionConfig, ExecutionResult | ExecutionFailure] = {}
         self._trials: list[TrialRecord] = []

@@ -9,6 +9,7 @@ Regenerates the paper's evaluation artifacts::
     mixpbench-experiments table5            # app searches at 3 thresholds
     mixpbench-experiments fig2 fig3         # figure data series
     mixpbench-experiments prune-stats       # Table II before/after --prune
+    mixpbench-experiments shadow-stats      # unguided vs --order shadow
     mixpbench-experiments ext-half ext-hrc  # extensions beyond the paper
     mixpbench-experiments all               # everything
 
@@ -24,8 +25,8 @@ import time
 
 from repro.experiments import (
     compare, ext_convergence, ext_half, ext_hrc, ext_machines,
-    fig2, fig3, insights, prune_stats, table1, table2, table3, table4,
-    table5,
+    fig2, fig3, insights, prune_stats, shadow_stats, table1, table2,
+    table3, table4, table5,
 )
 from repro.experiments.context import ExperimentContext
 
@@ -33,7 +34,7 @@ __all__ = ["main", "run_experiment", "EXPERIMENTS"]
 
 EXPERIMENTS = (
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig3",
-    "insights", "compare", "prune-stats",
+    "insights", "compare", "prune-stats", "shadow-stats",
     "ext-half", "ext-hrc", "ext-machines", "ext-convergence",
 )
 
@@ -60,6 +61,8 @@ def run_experiment(name: str, ctx: ExperimentContext, results_dir: str) -> str:
         return compare.run(ctx, results_dir)
     if name == "prune-stats":
         return prune_stats.run(results_dir)
+    if name == "shadow-stats":
+        return shadow_stats.run(results_dir)
     if name == "ext-half":
         return ext_half.run(results_dir)
     if name == "ext-hrc":

@@ -7,6 +7,7 @@ Subcommands::
     mixpbench lint [TARGET...]             # static precision diagnostics
     mixpbench run CONFIG.yaml              # run a YAML harness file
     mixpbench search BENCH --algorithm DD  # one ad-hoc search
+    mixpbench sensitivity BENCH            # shadow-run error attribution
 """
 
 from __future__ import annotations
@@ -21,8 +22,8 @@ from repro.core.batch import EXECUTOR_NAMES, make_executor
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.errors import MixPBenchError
 from repro.harness.reporting import (
-    format_eval_stats, format_prune_stats, format_quality, format_speedup,
-    format_table,
+    format_eval_stats, format_prune_stats, format_quality, format_shadow_stats,
+    format_speedup, format_table,
 )
 from repro.harness.runner import Harness
 from repro.search.registry import available_strategies, make_strategy
@@ -62,6 +63,15 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "--max-retries", type=int, default=0, metavar="N",
         help="retry transient worker failures up to N times with "
              "exponential backoff (default: 0, no retries)",
+    )
+
+
+def _add_order_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--order", choices=["none", "shadow"], default="none",
+        help="search-location ordering: 'shadow' runs one shadow "
+             "sensitivity analysis and enumerates locations "
+             "most-sensitive-first (default: none)",
     )
 
 
@@ -118,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--prune", action="store_true",
         help="restrict each search space with the static dataflow pruner",
     )
+    _add_order_flag(run)
     _add_execution_flags(run)
 
     search = sub.add_parser("search", help="run one mixed-precision search")
@@ -142,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--prune", action="store_true",
         help="restrict the search space with the static dataflow pruner",
     )
+    _add_order_flag(search)
     _add_execution_flags(search)
 
     grid = sub.add_parser(
@@ -175,8 +187,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--prune", action="store_true",
         help="restrict every job's search space with the static dataflow pruner",
     )
+    _add_order_flag(grid)
     grid.add_argument("--output-dir", default="results")
     _add_execution_flags(grid)
+
+    sensitivity = sub.add_parser(
+        "sensitivity",
+        help="shadow-run sensitivity analysis: per-variable error "
+             "attribution plus a verified recommended configuration",
+    )
+    sensitivity.add_argument("benchmark")
+    sensitivity.add_argument("--threshold", type=float, default=None)
+    sensitivity.add_argument("--metric", default=None)
+    sensitivity.add_argument(
+        "--half", action="store_true",
+        help="also propagate fp16 shadows (fp32 is always on)",
+    )
+    sensitivity.add_argument(
+        "--no-recommend", action="store_true",
+        help="report attribution only; skip the predict-and-verify step",
+    )
+    sensitivity.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="also save the SensitivityReport as JSON",
+    )
 
     profile = sub.add_parser(
         "profile", help="machine-model runtime breakdown of a benchmark",
@@ -278,13 +312,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trial_timeout=args.trial_timeout,
         max_retries=args.max_retries,
         prune=args.prune,
+        shadow=args.order == "shadow",
     )
     for report in harness.run_file(args.config):
         print(f"\n{report.name} ({report.metric} <= {report.threshold:g})")
         rows = []
         pruned = False
+        shadowed = False
         for a in report.analyses:
             pruned = pruned or bool(a.prune)
+            shadowed = shadowed or bool(a.shadow)
             rows.append([
                 a.identifier, a.strategy, a.evaluations,
                 f"{a.analysis_hours:.2f}h",
@@ -300,6 +337,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for a in report.analyses:
                 if a.prune:
                     print(f"  {a.identifier}: pruned {format_prune_stats(a.prune)}")
+        if shadowed:
+            for a in report.analyses:
+                if a.shadow:
+                    print(f"  {a.identifier}: shadow {format_shadow_stats(a.shadow)}")
     return 0
 
 
@@ -336,11 +377,18 @@ def _cmd_search(args: argparse.Namespace) -> int:
         pruned = prune_report(tf_report)
         space_override = pruned.space
         prune_info = pruned.stats(tf_report.search_space())
+    location_order = None
+    shadow_info = None
+    if args.order == "shadow":
+        from repro.shadow import shadow_guidance
+
+        location_order, shadow_info = shadow_guidance(bench)
     try:
         evaluator = ConfigurationEvaluator(
             bench, quality=quality, max_evaluations=args.max_evaluations,
             timing=timing, executor=executor, cache=cache, trace=trace,
             space_override=space_override, prune_info=prune_info,
+            location_order=location_order, shadow_info=shadow_info,
         )
         outcome = make_strategy(args.algorithm).run(evaluator)
     finally:
@@ -355,6 +403,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     print(f"  evaluation: {format_eval_stats(stats)}")
     if prune_info is not None:
         print(f"  pruned: {format_prune_stats(prune_info)}")
+    if shadow_info is not None:
+        print(f"  shadow: {format_shadow_stats(shadow_info)}")
     if outcome.found_solution:
         print(f"  speedup: {format_speedup(outcome.speedup)}")
         print(f"  quality: {format_quality(outcome.error_value)}")
@@ -387,6 +437,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         trial_timeout=args.trial_timeout,
         max_retries=args.max_retries,
         prune=args.prune,
+        shadow=args.order == "shadow",
     )
     results = run_grid(
         jobs, workers=args.grid_workers,
@@ -434,6 +485,41 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         ))
         print(f"\nresults saved to {results_path}")
     return 1 if failed else 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.shadow import recommend_and_verify, run_shadow_analysis
+
+    bench = get_benchmark(args.benchmark)
+    report = run_shadow_analysis(bench, include_half=args.half)
+    print(report.render())
+    if args.save:
+        report.save(args.save)
+        print(f"report saved to {args.save}")
+    if args.no_recommend:
+        return 0
+
+    threshold = args.threshold if args.threshold is not None else bench.default_threshold
+    quality = QualitySpec(args.metric or bench.metric, threshold)
+    evaluator = ConfigurationEvaluator(bench, quality=quality)
+    rec = recommend_and_verify(report, evaluator)
+    print(f"\nrecommendation for {bench.name} ({quality.metric} <= {threshold:g}):")
+    predicted = (
+        f"{rec.predicted_error:.3e}" if rec.predicted_error is not None else "n/a"
+    )
+    print(f"  predicted  : {len(rec.predicted_lowered)} locations lowered, "
+          f"{quality.metric} ~ {predicted}")
+    verified = (
+        f"{rec.verified_error:.3e}" if rec.verified_error is not None else "n/a"
+    )
+    status = "passed" if rec.passed else "FAILED"
+    print(f"  verified   : {quality.metric} = {verified} ({status}, "
+          f"{rec.evaluations} evaluation(s) through the standard evaluator)")
+    if rec.passed and rec.lowered:
+        print(f"  lowered    : {', '.join(rec.lowered)}")
+    elif rec.passed:
+        print("  lowered    : nothing (uniform double is the recommendation)")
+    return 0 if rec.passed else 1
 
 
 def _cmd_profile(name: str, precision_name: str) -> int:
@@ -522,6 +608,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_search(args)
         if args.command == "grid":
             return _cmd_grid(args)
+        if args.command == "sensitivity":
+            return _cmd_sensitivity(args)
         if args.command == "profile":
             return _cmd_profile(args.benchmark, args.precision)
         if args.command == "report":

@@ -38,7 +38,7 @@ __all__ = ["AnalysisSpec", "HarnessConfig", "load_config", "parse_config"]
 _TOP_KEYS = {
     "benchmark", "build", "build_dir", "clean", "metric", "threshold",
     "runs", "time_limit_hours", "analysis", "args", "bin", "copy", "output",
-    "executor", "workers", "cache", "prune",
+    "executor", "workers", "cache", "prune", "shadow",
 }
 
 _EXECUTOR_NAMES = ("serial", "thread", "process")
@@ -75,6 +75,8 @@ class HarnessConfig:
     cache: bool | None = None
     #: static search-space pruning toggle; None inherits
     prune: bool | None = None
+    #: shadow-guided search ordering toggle; None inherits
+    shadow: bool | None = None
 
     def analysis(self, identifier: str) -> AnalysisSpec:
         for spec in self.analyses:
@@ -171,6 +173,12 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
             f"{source}: {name}: prune must be a boolean"
         )
 
+    shadow = body.get("shadow")
+    if shadow is not None and not isinstance(shadow, bool):
+        raise HarnessConfigError(
+            f"{source}: {name}: shadow must be a boolean"
+        )
+
     analyses = []
     for identifier, spec in (body.get("analysis") or {}).items():
         if not isinstance(spec, Mapping) or "name" not in spec:
@@ -198,4 +206,5 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
         workers=workers,
         cache=cache,
         prune=prune,
+        shadow=shadow,
     )

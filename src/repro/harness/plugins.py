@@ -58,6 +58,8 @@ class DeployedApp:
     trace: Any = None
     #: restrict the search space with the static dataflow pruner
     prune: bool = False
+    #: order search locations by shadow-run sensitivity
+    shadow: bool = False
 
 
 @dataclass
@@ -90,6 +92,7 @@ class FloatSmithPlugin(AnalysisPlugin):
         strategy_kwargs = dict(extra_args.pop("strategy_args", {}))
         max_evaluations = extra_args.pop("max_evaluations", None)
         prune = bool(extra_args.pop("prune", False)) or app.prune
+        shadow = bool(extra_args.pop("shadow", False)) or app.shadow
         if extra_args:
             raise PluginError(
                 f"floatSmith: unknown extra_args {sorted(extra_args)}"
@@ -106,6 +109,12 @@ class FloatSmithPlugin(AnalysisPlugin):
             pruned = prune_report(report)
             space_override = pruned.space
             prune_info = pruned.stats(report.search_space())
+        location_order = None
+        shadow_info = None
+        if shadow:
+            from repro.shadow import shadow_guidance
+
+            location_order, shadow_info = shadow_guidance(bench)
         evaluator = ConfigurationEvaluator(
             bench,
             quality=app.quality,
@@ -116,6 +125,8 @@ class FloatSmithPlugin(AnalysisPlugin):
             trace=app.trace,
             space_override=space_override,
             prune_info=prune_info,
+            location_order=location_order,
+            shadow_info=shadow_info,
         )
         strategy = make_strategy(algorithm, **strategy_kwargs)
         outcome = strategy.run(evaluator)

@@ -15,7 +15,7 @@ from typing import Any, Sequence
 
 __all__ = [
     "format_table", "write_csv", "format_quality", "format_speedup",
-    "format_eval_stats", "format_prune_stats",
+    "format_eval_stats", "format_prune_stats", "format_shadow_stats",
 ]
 
 
@@ -33,6 +33,31 @@ def format_prune_stats(stats: dict | None) -> str:
     frozen = len(stats.get("frozen", ()))
     merged = len(stats.get("merged", ()))
     return f"{before} -> {after} locations ({frozen} frozen, {merged} merged)"
+
+
+def format_shadow_stats(stats: dict | None) -> str:
+    """One-line rendering of a shadow-guidance summary block.
+
+    ``5 vars ranked over 45 ops, top kernel.tmp (predicted 2.6e-08)``
+    — the shadow run behind a guided search: ranked variable count,
+    propagated operations, the most sensitive variable and the quality
+    metric predicted for the uniformly-lowered program.  An empty
+    block (guidance off) renders as ``-``.
+    """
+    if not stats:
+        return "-"
+    variables = stats.get("variables", "?")
+    ops = stats.get("ops", "?")
+    top = stats.get("top") or []
+    leader = top[0][0] if top else "?"
+    predicted = stats.get("predicted_error")
+    if isinstance(predicted, (int, float)):
+        suffix = f" (predicted {predicted:.1e})"
+    elif predicted is not None:
+        suffix = f" (predicted {predicted})"
+    else:
+        suffix = ""
+    return f"{variables} vars ranked over {ops} ops, top {leader}{suffix}"
 
 
 def format_eval_stats(stats: dict | None) -> str:

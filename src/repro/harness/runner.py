@@ -50,6 +50,8 @@ class AnalysisReport:
     eval_stats: dict = field(default_factory=dict)
     #: static-pruning provenance (empty when pruning was off)
     prune: dict = field(default_factory=dict)
+    #: shadow-guidance provenance (empty when guidance was off)
+    shadow: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -90,6 +92,10 @@ class Harness:
         Restrict each analysis's search space with the static dataflow
         pruner (``--prune``; per-entry ``prune:`` overrides; see
         docs/static-analysis.md).
+    shadow:
+        Order each analysis's search locations by shadow-run
+        sensitivity (``--order shadow``; per-entry ``shadow:``
+        overrides; see docs/shadow-analysis.md).
     """
 
     def __init__(
@@ -103,6 +109,7 @@ class Harness:
         trial_timeout: float | None = None,
         max_retries: int = 0,
         prune: bool = False,
+        shadow: bool = False,
     ) -> None:
         self.output_dir = Path(output_dir)
         self.executor = executor
@@ -113,6 +120,7 @@ class Harness:
         self.trial_timeout = trial_timeout
         self.max_retries = max_retries
         self.prune = prune
+        self.shadow = shadow
 
     def run_file(self, path: str | Path) -> list[HarnessReport]:
         """Run every entry of a YAML configuration file."""
@@ -151,6 +159,7 @@ class Harness:
             cache=cache,
             trace=trace,
             prune=entry.prune if entry.prune is not None else self.prune,
+            shadow=entry.shadow if entry.shadow is not None else self.shadow,
         )
         try:
             for spec in entry.analyses:
@@ -194,6 +203,7 @@ class Harness:
             found_solution=outcome.found_solution,
             eval_stats=dict(outcome.metadata.get("eval_stats") or {}),
             prune=dict(outcome.metadata.get("prune") or {}),
+            shadow=dict(outcome.metadata.get("shadow") or {}),
         )
         if not outcome.found_solution:
             return report

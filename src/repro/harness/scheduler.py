@@ -71,6 +71,8 @@ class SearchJob:
     max_retries: int = 0
     #: restrict the search space with the static dataflow pruner
     prune: bool = False
+    #: order search locations by shadow-run sensitivity
+    shadow: bool = False
 
     def label(self) -> str:
         return f"{self.program}/{canonical_name(self.algorithm)}@{self.threshold:g}"
@@ -127,6 +129,7 @@ def grid_jobs(
     trial_timeout: float | None = None,
     max_retries: int = 0,
     prune: bool = False,
+    shadow: bool = False,
 ) -> list[SearchJob]:
     """The full cross product the paper's evaluation runs."""
     return [
@@ -142,6 +145,7 @@ def grid_jobs(
             trial_timeout=trial_timeout,
             max_retries=max_retries,
             prune=prune,
+            shadow=shadow,
         )
         for program in programs
         for algorithm in algorithms
@@ -176,6 +180,15 @@ def _run_job(
             pruned = prune_report(report)
             space_override = pruned.space
             prune_info = pruned.stats(report.search_space())
+        location_order = None
+        shadow_info = None
+        if job.shadow:
+            # The shadow run is a pure in-process function of the
+            # benchmark: recomputing it in each worker is deterministic
+            # and identical across serial/thread/process execution.
+            from repro.shadow import shadow_guidance
+
+            location_order, shadow_info = shadow_guidance(bench)
         try:
             evaluator = ConfigurationEvaluator(
                 bench,
@@ -186,6 +199,8 @@ def _run_job(
                 cache=cache,
                 space_override=space_override,
                 prune_info=prune_info,
+                location_order=location_order,
+                shadow_info=shadow_info,
             )
             strategy = make_strategy(job.algorithm)
             result = JobResult(job=job, outcome=strategy.run(evaluator))

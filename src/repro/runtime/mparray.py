@@ -47,7 +47,10 @@ import numpy as np
 
 from repro.runtime.profiler import OpClass, Profile, opclass_for_ufunc
 
-__all__ = ["MPArray", "unwrap", "wrap", "reference_recording", "set_reference_mode"]
+__all__ = [
+    "MPArray", "unwrap", "wrap", "reference_recording", "set_reference_mode",
+    "DIRECT_OPERATOR_NAMES",
+]
 
 _FLOAT64 = np.dtype(np.float64)
 
@@ -1044,6 +1047,18 @@ def _calibrate_reuse() -> None:
 
 
 _calibrate_reuse()
+
+#: operator names bound below to direct-dispatch implementations that
+#: construct plain MPArray results without consulting
+#: ``__array_ufunc__``.  A subclass that must intercept every
+#: operation (the shadow-value engine) re-binds exactly these names
+#: back to their ``NDArrayOperatorsMixin`` versions, which route
+#: through the ufunc protocol and therefore through the subclass.
+DIRECT_OPERATOR_NAMES = (
+    "__add__", "__radd__", "__sub__", "__rsub__",
+    "__mul__", "__rmul__", "__truediv__", "__rtruediv__",
+    "__pow__", "__rpow__", "__neg__", "__abs__",
+)
 
 MPArray.__add__ = _make_binop(np.add)
 MPArray.__radd__ = _make_rbinop(np.add)

@@ -55,6 +55,9 @@ class SearchStrategy(ABC):
         metadata["eval_stats"] = evaluator.stats.as_dict()
         if evaluator.prune_info is not None:
             metadata["prune"] = dict(evaluator.prune_info)
+        shadow_info = getattr(evaluator, "shadow_info", None)
+        if shadow_info is not None:
+            metadata["shadow"] = dict(shadow_info)
         return SearchOutcome(
             strategy=self.strategy_name,
             program=evaluator.program.name,
@@ -76,6 +79,18 @@ class SearchStrategy(ABC):
 
     def space(self, evaluator: ConfigurationEvaluator) -> SearchSpace:
         return evaluator.space(self.granularity)
+
+    def ordered_locations(
+        self, evaluator: ConfigurationEvaluator, space: SearchSpace
+    ) -> tuple[str, ...]:
+        """The space's locations, most sensitive first when a shadow
+        ordering is attached to the evaluator; the canonical sorted
+        order (byte-identical to unguided behaviour) otherwise."""
+        order = getattr(evaluator, "location_order", None)
+        locations = space.locations()
+        if order is None:
+            return locations
+        return order.arrange(locations, space)
 
     # -- helpers shared by concrete strategies ---------------------------------
     def _lower(self, space: SearchSpace, locations) -> PrecisionConfig:

@@ -40,7 +40,10 @@ class CompositionalSearch(SearchStrategy):
 
     def _search(self, evaluator: ConfigurationEvaluator) -> PrecisionConfig | None:
         space = self.space(evaluator)
-        locations = space.locations()
+        # Most-sensitive-first under a shadow ordering: the sensitive
+        # singletons fail fast and drop out of the composition pool
+        # early; unguided, this is the canonical location order.
+        locations = self.ordered_locations(evaluator, space)
 
         passing: list[frozenset[str]] = []
         best: PrecisionConfig | None = None

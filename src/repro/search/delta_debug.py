@@ -35,7 +35,11 @@ class DeltaDebugSearch(SearchStrategy):
 
     def _search(self, evaluator: ConfigurationEvaluator) -> PrecisionConfig | None:
         space = self.space(evaluator)
-        all_locations = list(space.locations())
+        all_locations = list(self.ordered_locations(evaluator, space))
+        # Partition refinement walks the list in this order, so a
+        # sensitivity ordering makes the early chunks the sensitive
+        # ones — exactly the sets ddmin wants to isolate first.
+        index = {loc: i for i, loc in enumerate(all_locations)}
 
         def passes(high: frozenset[str]) -> TrialRecord:
             lowered = [loc for loc in all_locations if loc not in high]
@@ -50,7 +54,7 @@ class DeltaDebugSearch(SearchStrategy):
         if trial is not None and trial.passed:
             return trial.config
 
-        high = self._ddmin(frozenset(all_locations), passes)
+        high = self._ddmin(frozenset(all_locations), passes, index)
         lowered = [loc for loc in all_locations if loc not in high]
         if not lowered:
             return None  # local minimum keeps everything in double
@@ -58,12 +62,15 @@ class DeltaDebugSearch(SearchStrategy):
         return final.config if final.passed else None
 
     @staticmethod
-    def _ddmin(high: frozenset, passes) -> frozenset:
+    def _ddmin(high: frozenset, passes, index=None) -> frozenset:
         """Classic ddmin: shrink ``high`` while `lower(all - high)`
-        keeps passing, until 1-minimal."""
+        keeps passing, until 1-minimal.  ``index`` fixes the member
+        enumeration order; with the canonical sorted location list it
+        degenerates to ``sorted(high)``, keeping the unguided search
+        byte-identical."""
         chunks = 2
         while len(high) >= 1:
-            members = sorted(high)
+            members = sorted(high) if index is None else sorted(high, key=index.__getitem__)
             size = max(1, len(members) // chunks)
             partitions = [
                 frozenset(members[i:i + size]) for i in range(0, len(members), size)

@@ -68,6 +68,15 @@ class GeneticSearch(SearchStrategy):
         locations = space.locations()
         n = len(locations)
         rng = np.random.default_rng(self.seed)
+        # Shadow guidance reshapes the *seeding* only: genome layout,
+        # crossover and mutation are untouched, so the unguided run is
+        # byte-identical to the order-free code path.
+        order = getattr(evaluator, "location_order", None)
+        asc: list[int] | None = None
+        if order is not None:
+            position = {loc: i for i, loc in enumerate(locations)}
+            ranked = order.arrange(locations, space)  # most sensitive first
+            asc = [position[loc] for loc in reversed(ranked)]
 
         def to_config(genome: np.ndarray) -> PrecisionConfig:
             lowered = [loc for loc, bit in zip(locations, genome) if bit]
@@ -117,7 +126,11 @@ class GeneticSearch(SearchStrategy):
         # per-generation random immigrants draw from it without
         # replacement, so the minimal end of the space is sampled
         # systematically rather than with collisions.
-        singleton_stream = iter(rng.permutation(n) if n else [])
+        # Guided, the stream serves least-sensitive singletons first
+        # (the ones most likely to pass); unguided it stays random.
+        singleton_stream = iter(
+            asc if asc is not None else (rng.permutation(n) if n else [])
+        )
 
         def next_singleton() -> np.ndarray | None:
             index = next(singleton_stream, None)
@@ -133,7 +146,14 @@ class GeneticSearch(SearchStrategy):
             if i % 2 == 0:
                 genome = next_singleton()
             if genome is None:
-                genome = rng.random(n) < (i + 1) / (self.population_size + 1)
+                if asc is not None:
+                    # Density genomes become least-sensitive prefixes:
+                    # the k most conversion-tolerant locations.
+                    k = int(round(n * (i + 1) / (self.population_size + 1)))
+                    genome = np.zeros(n, dtype=bool)
+                    genome[asc[:k]] = True
+                else:
+                    genome = rng.random(n) < (i + 1) / (self.population_size + 1)
             population.append(genome)
         scored = evaluate_population(population)
 

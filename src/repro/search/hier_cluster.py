@@ -25,18 +25,28 @@ from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.types import PrecisionConfig
 from repro.core.variables import Granularity, SearchSpace
 from repro.search.base import SearchStrategy
-from repro.search.hierarchy import HierarchyNode
+from repro.search.hierarchy import HierarchyNode, order_children
 
 __all__ = ["ClusterHierarchicalSearch", "build_cluster_hierarchy"]
 
 
-def build_cluster_hierarchy(space: SearchSpace) -> HierarchyNode:
+def build_cluster_hierarchy(space: SearchSpace, order=None) -> HierarchyNode:
     """Application → module → function → cluster tree.
 
     Node ``variables`` hold *cluster ids* (the locations of a
     cluster-granularity space); a cluster lives under the function
-    that declares the majority of its members.
+    that declares the majority of its members.  An optional shadow
+    ``order`` arranges siblings least-sensitive-first (a group scores
+    as its worst member cluster, a cluster as its worst member uid).
     """
+    score_fn = None
+    if order is not None:
+        cid_scores = {
+            cluster.cid: order.score_of(cluster.members)
+            for cluster in space.clusters
+        }
+        def score_fn(cids):
+            return max(cid_scores[cid] for cid in cids)
     variables = {v.uid: v for v in space.variables}
     placements: dict[tuple[str, str], list[str]] = {}
     for cluster in space.clusters:
@@ -64,16 +74,18 @@ def build_cluster_hierarchy(space: SearchSpace) -> HierarchyNode:
         for function, cids in sorted(functions.items()):
             fn_node = HierarchyNode(f"function:{function}", frozenset(cids))
             if len(cids) > 1:
-                fn_node.children = [
+                fn_node.children = order_children([
                     HierarchyNode(f"cluster:{cid}", frozenset({cid}))
                     for cid in cids
-                ]
+                ], score_fn)
             module_node.children.append(fn_node)
+        module_node.children = order_children(module_node.children, score_fn)
         if len(module_node.children) == 1 and \
                 module_node.children[0].variables == module_node.variables:
             module_node = module_node.children[0]
         module_nodes.append(module_node)
 
+    module_nodes = order_children(module_nodes, score_fn)
     if len(module_nodes) == 1 and module_nodes[0].variables == root.variables:
         root.children = module_nodes[0].children
     else:
@@ -97,7 +109,9 @@ class ClusterHierarchicalSearch(SearchStrategy):
 
     def _search(self, evaluator: ConfigurationEvaluator) -> PrecisionConfig | None:
         space = self.space(evaluator)
-        root = build_cluster_hierarchy(space)
+        root = build_cluster_hierarchy(
+            space, order=getattr(evaluator, "location_order", None)
+        )
         converted: set[str] = set()
 
         def try_group(group: frozenset[str]) -> bool:

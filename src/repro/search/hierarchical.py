@@ -44,7 +44,7 @@ class HierarchicalSearch(SearchStrategy):
 
     def _search(self, evaluator: ConfigurationEvaluator) -> PrecisionConfig | None:
         space = self.space(evaluator)
-        root = build_hierarchy(space)
+        root = build_hierarchy(space, order=getattr(evaluator, "location_order", None))
         converted: set[str] = set()
 
         def try_group(group: frozenset[str]) -> bool:

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.core.variables import SearchSpace
 
-__all__ = ["HierarchyNode", "build_hierarchy"]
+__all__ = ["HierarchyNode", "build_hierarchy", "order_children"]
 
 
 @dataclass
@@ -43,13 +43,28 @@ class HierarchyNode:
             yield from child.walk()
 
 
-def build_hierarchy(space: SearchSpace) -> HierarchyNode:
+def order_children(nodes: list, score_fn) -> list:
+    """Sort sibling nodes least-sensitive-first by ``score_fn``.
+
+    Converting the big insensitive groups early is what saves guided
+    HR/HRC evaluations; ties (and a ``None`` score function) keep the
+    label order, so an absent ordering leaves the tree unchanged.
+    """
+    if score_fn is None:
+        return nodes
+    return sorted(nodes, key=lambda n: (score_fn(n.variables), n.label))
+
+
+def build_hierarchy(space: SearchSpace, order=None) -> HierarchyNode:
     """Application → module → function → variable tree for a program.
 
     Single-child levels are collapsed (a one-module program goes
     straight from the root to its functions) so the search does not
-    waste an evaluation re-testing an identical variable set.
+    waste an evaluation re-testing an identical variable set.  An
+    optional shadow ``order`` arranges siblings at every level so the
+    least sensitive components are visited first.
     """
+    score_fn = None if order is None else order.score_of
     variables = space.variables
     root = HierarchyNode("<application>", frozenset(v.uid for v in variables))
 
@@ -70,15 +85,17 @@ def build_hierarchy(space: SearchSpace) -> HierarchyNode:
                 f"function:{function}", frozenset(v.uid for v in fn_vars)
             )
             if len(fn_vars) > 1:
-                fn_node.children = [
+                fn_node.children = order_children([
                     HierarchyNode(f"variable:{v.uid}", frozenset({v.uid}))
                     for v in sorted(fn_vars, key=lambda v: v.uid)
-                ]
+                ], score_fn)
             module_node.children.append(fn_node)
+        module_node.children = order_children(module_node.children, score_fn)
         if len(module_node.children) == 1 and module_node.children[0].variables == module_node.variables:
             module_node = module_node.children[0]
         module_nodes.append(module_node)
 
+    module_nodes = order_children(module_nodes, score_fn)
     if len(module_nodes) == 1 and module_nodes[0].variables == root.variables:
         root.children = module_nodes[0].children
     else:

@@ -1,0 +1,66 @@
+"""Sensitivity-derived location orderings for guided search.
+
+A :class:`ShadowOrder` carries the per-variable sensitivity scores of
+one :class:`~repro.shadow.report.SensitivityReport` and knows how to
+arrange the locations of any :class:`~repro.core.variables.SearchSpace`
+— at either granularity, pruned or not — **most sensitive first**.
+Search strategies receive it through
+``ConfigurationEvaluator.location_order`` and consult it via
+``SearchStrategy.ordered_locations``; with no order attached they fall
+back to the space's canonical sorted order, byte-identically to the
+unguided behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.variables import Granularity, SearchSpace
+
+__all__ = ["ShadowOrder"]
+
+#: score assigned to locations the shadow run never saw (conservative:
+#: unknown means "treat as most sensitive", so guided searches try to
+#: keep them at high precision first)
+_UNKNOWN = float("inf")
+
+
+@dataclass(frozen=True)
+class ShadowOrder:
+    """Most-sensitive-first ranking derived from one shadow run."""
+
+    program: str
+    precision: str
+    #: variable uid -> sensitivity score (higher = more sensitive)
+    scores: Mapping[str, float] = field(default_factory=dict)
+    #: quality-metric value predicted for the uniformly-lowered program
+    predicted_error: float | None = None
+
+    def score_of(self, uids: Iterable[str]) -> float:
+        """Sensitivity of a variable group: its worst *observed* member.
+
+        Members the shadow run never saw are ignored as long as any
+        member was observed: unobserved uids in a mixed group are
+        parameter-binding aliases of observed storage (Typeforge names
+        a callee's view of the same array separately) or genuinely
+        untouched variables, neither of which adds divergence of its
+        own.  A group with no observed member at all stays at the
+        conservative "unknown = most sensitive" score.
+        """
+        observed = [self.scores[uid] for uid in uids if uid in self.scores]
+        return max(observed) if observed else _UNKNOWN
+
+    def location_score(self, space: SearchSpace, location: str) -> float:
+        """Sensitivity of one location at the space's granularity."""
+        if space.granularity is Granularity.CLUSTER:
+            return self.score_of(space.cluster(location).members)
+        return self.scores.get(location, _UNKNOWN)
+
+    def arrange(self, locations: Iterable[str], space: SearchSpace) -> tuple[str, ...]:
+        """``locations`` sorted most sensitive first; ties break on the
+        location name so the result is deterministic."""
+        return tuple(sorted(
+            locations,
+            key=lambda loc: (-self.location_score(space, loc), loc),
+        ))

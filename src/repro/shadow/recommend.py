@@ -1,0 +1,215 @@
+"""Predict-and-verify: turn a sensitivity report into a configuration.
+
+:func:`recommend_and_verify` converts the per-variable statistics of
+one :class:`~repro.shadow.report.SensitivityReport` into a concrete
+:class:`~repro.core.types.PrecisionConfig` candidate and then — always
+— verifies it through the ordinary
+:class:`~repro.core.evaluator.ConfigurationEvaluator` pipeline.  The
+prediction step is heuristic; the verified error is what gets
+reported.  A :class:`Recommendation` whose ``passed`` flag is True is
+backed by a real (modeled-machine) evaluation, never by the shadow
+run alone.
+
+Prediction uses the *marginal* sensitivity signal — each variable's
+own storage rounding, amplified by the error its operations created —
+rather than the joint ``score`` that drives search ordering.  In a
+single shadow run every replica is lowered at once, so the worst
+observed divergence is shared by every variable that touched the same
+operations; storage error and amplification are the per-variable
+components that survive that confounding (a dyadic coefficient table
+has marginal 0 even when the run as a whole diverges badly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.evaluator import ConfigurationEvaluator, TrialRecord
+from repro.core.types import Precision, PrecisionConfig
+from repro.core.variables import Granularity, SearchSpace
+from repro.errors import SearchBudgetExceeded
+from repro.shadow.report import SensitivityReport
+from repro.verify.metrics import lower_is_better
+
+__all__ = ["Recommendation", "recommend_and_verify"]
+
+_UNKNOWN = float("inf")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A shadow-guided configuration plus its *verified* quality."""
+
+    program: str
+    precision: str
+    #: the configuration finally verified (uniform double when nothing
+    #: could be lowered within the threshold)
+    config: PrecisionConfig
+    #: locations lowered by :attr:`config`, sorted
+    lowered: tuple[str, ...]
+    #: locations the prediction step wanted to lower before
+    #: verification pared the set down
+    predicted_lowered: tuple[str, ...]
+    #: quality-metric value the linear-scaling model predicted for the
+    #: *predicted* set (None when no prediction was possible)
+    predicted_error: float | None
+    #: quality-metric value measured by the evaluator for :attr:`config`
+    verified_error: float | None
+    #: whether the verified configuration passed the quality threshold
+    passed: bool
+    #: evaluator calls spent verifying (including failed candidates)
+    evaluations: int
+    #: trial records for every verification attempt, in order
+    trials: tuple[TrialRecord, ...] = field(default_factory=tuple, repr=False)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "precision": self.precision,
+            "lowered": list(self.lowered),
+            "predicted_lowered": list(self.predicted_lowered),
+            "predicted_error": self.predicted_error,
+            "verified_error": self.verified_error,
+            "passed": self.passed,
+            "evaluations": self.evaluations,
+        }
+
+
+def _loss(value: float, metric: str) -> float:
+    """Map a metric value onto a lower-is-better loss scale."""
+    return value if lower_is_better(metric) else 1.0 - value
+
+
+def _marginal_location_scores(
+    report: SensitivityReport, space: SearchSpace, precision: str
+) -> dict[str, float]:
+    """Marginal sensitivity of every search location.
+
+    A variable's marginal is ``storage_error * (1 + amplification)``:
+    the rounding its own stored values incur, grown by the error its
+    operations manufactured.  A location (cluster) takes its worst
+    *observed* member; locations with no observed member are unknown
+    and treated as most sensitive (see ShadowOrder.score_of for why
+    mixed groups ignore unobserved aliases).
+    """
+    marginals = report.marginal_scores(precision)
+    scores: dict[str, float] = {}
+    for location in space.locations():
+        if space.granularity is Granularity.CLUSTER:
+            members = space.cluster(location).members
+        else:
+            members = (location,)
+        observed = [marginals[uid] for uid in members if uid in marginals]
+        scores[location] = max(observed) if observed else _UNKNOWN
+    return scores
+
+
+def _predict_prefix(
+    report: SensitivityReport,
+    space: SearchSpace,
+    precision: str,
+    threshold: float,
+) -> tuple[list[str], list[str], float | None]:
+    """``(ranked, prefix, predicted)``: locations least-marginal-first,
+    the prefix the linear model accepts, and its predicted error.
+
+    The model anchors on the one measured point the shadow run gives
+    us — the quality metric of the *uniformly* lowered program — and
+    scales it by ``marginal / max_marginal``.  Crude, but it only has
+    to produce a starting point; verification does the rest.
+    """
+    scores = _marginal_location_scores(report, space, precision)
+    ranked = sorted(scores, key=lambda loc: (scores[loc], loc))
+    uniform = report.predicted_error.get(precision)
+    if uniform is None or not ranked:
+        return ranked, [], None
+    metric = report.metric
+    uniform_loss = _loss(uniform, metric)
+    threshold_loss = _loss(threshold, metric)
+    if uniform_loss <= threshold_loss:
+        # the whole program is predicted to tolerate the lowering
+        return ranked, list(ranked), uniform
+    finite = [s for s in scores.values() if s < _UNKNOWN]
+    top = max(finite, default=0.0)
+    if top <= 0.0:
+        # no discriminating signal (every marginal is 0 or unknown
+        # while the uniform run fails): verification pares down from
+        # the full finite set
+        return ranked, [loc for loc in ranked if scores[loc] < _UNKNOWN], uniform
+    prefix: list[str] = []
+    predicted = None
+    for loc in ranked:
+        score = scores[loc]
+        estimate = uniform_loss * (score / top) if score < _UNKNOWN else _UNKNOWN
+        if estimate > threshold_loss:
+            break
+        prefix.append(loc)
+        predicted = estimate if lower_is_better(metric) else 1.0 - estimate
+    return ranked, prefix, predicted
+
+
+def recommend_and_verify(
+    report: SensitivityReport,
+    evaluator: ConfigurationEvaluator,
+    precision: str = "single",
+    granularity: Granularity = Granularity.CLUSTER,
+    max_verifications: int = 8,
+) -> Recommendation:
+    """Predict a configuration from ``report`` and verify it for real.
+
+    The predicted least-marginal-first prefix is evaluated through
+    ``evaluator``; on failure the accepted prefix length is bisected
+    (the ranking is marginal-ordered, so "longest passing prefix" is
+    the natural shrink target and bisection reaches it in
+    ``log2(len(prefix))`` evaluations).  The empty prefix — uniform
+    double, the unchanged program — is the trivially-passing floor, so
+    a recommendation always exists; any non-empty one is backed by a
+    passing trial from the standard evaluator.
+    """
+    target = Precision.from_name(precision)
+    space = evaluator.space(granularity)
+    ranked, prefix, predicted = _predict_prefix(
+        report, space, precision, evaluator.quality.threshold
+    )
+    if not prefix and ranked:
+        # The model rejected everything; still spend an evaluation on
+        # the single most tolerant location before giving up — a shadow
+        # run that saturates jointly often hides an individually exact
+        # conversion.
+        prefix = ranked[:1]
+        predicted = None
+    predicted_lowered = tuple(prefix)
+
+    trials: list[TrialRecord] = []
+    best_trial: TrialRecord | None = None
+    lo, hi = 0, len(prefix) + 1  # largest passing / smallest failing length
+    k = len(prefix)
+    try:
+        while k > 0 and len(trials) < max_verifications:
+            trial = evaluator.evaluate(space.lower(prefix[:k], target))
+            trials.append(trial)
+            if trial.passed:
+                lo, best_trial = k, trial
+            else:
+                hi = k
+            k = (lo + hi) // 2
+            if k <= lo:
+                break
+    except SearchBudgetExceeded:
+        pass
+
+    candidate = prefix[:lo]
+    return Recommendation(
+        program=report.program,
+        precision=precision,
+        config=space.lower(candidate, target),
+        lowered=tuple(sorted(candidate)),
+        predicted_lowered=predicted_lowered,
+        predicted_error=predicted,
+        # the unchanged program is exact by definition; anything else
+        # reports the error its passing trial measured
+        verified_error=best_trial.error_value if best_trial is not None else 0.0,
+        passed=True,
+        evaluations=len(trials),
+        trials=tuple(trials),
+    )

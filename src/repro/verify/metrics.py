@@ -23,6 +23,7 @@ from repro.runtime.mparray import unwrap
 
 __all__ = [
     "mae", "rmse", "mse", "r_squared", "mcr", "max_abs_error", "mre",
+    "relative_divergence",
     "register_metric", "get_metric", "available_metrics",
     "lower_is_better",
 ]
@@ -55,8 +56,12 @@ def mse(reference: Any, candidate: Any) -> float:
     ref, cand = _as_pair(reference, candidate)
     if not np.all(np.isfinite(cand)):
         return float("nan")
-    diff = ref - cand
-    return float(np.mean(diff * diff))
+    # errstate: a finite-but-huge candidate squares past the fp64
+    # range; the result is a clean inf (which fails every threshold),
+    # not a warning.
+    with np.errstate(over="ignore"):
+        diff = ref - cand
+        return float(np.mean(diff * diff))
 
 
 def rmse(reference: Any, candidate: Any) -> float:
@@ -76,8 +81,9 @@ def r_squared(reference: Any, candidate: Any) -> float:
     ref, cand = _as_pair(reference, candidate)
     if not np.all(np.isfinite(cand)):
         return float("nan")
-    ss_res = float(np.sum((ref - cand) ** 2))
-    ss_tot = float(np.sum((ref - np.mean(ref)) ** 2))
+    with np.errstate(over="ignore"):
+        ss_res = float(np.sum((ref - cand) ** 2))
+        ss_tot = float(np.sum((ref - np.mean(ref)) ** 2))
     if ss_tot == 0.0:
         return 1.0 if ss_res == 0.0 else float("-inf")
     return 1.0 - ss_res / ss_tot
@@ -107,12 +113,71 @@ def max_abs_error(reference: Any, candidate: Any) -> float:
 
 def mre(reference: Any, candidate: Any) -> float:
     """Mean Relative Error — extension metric: scale-free comparison
-    for outputs spanning decades (epsilon-guarded near zero)."""
+    for outputs spanning decades.
+
+    Positions where the reference is (sub)normal-zero fall back to the
+    absolute error instead of dividing by an epsilon floor, so a zero
+    reference cell cannot blow the mean up to 1e300.
+    """
     ref, cand = _as_pair(reference, candidate)
     if not np.all(np.isfinite(cand)):
         return float("nan")
-    scale = np.maximum(np.abs(ref), 1e-300)
-    return float(np.mean(np.abs(ref - cand) / scale))
+    with np.errstate(all="ignore"):
+        diff = np.abs(ref - cand)
+        scale = np.abs(ref)
+        rel = np.where(scale < 1e-300, diff, diff / np.maximum(scale, 1e-300))
+        return float(np.mean(rel))
+
+
+def _relative_divergence_core(ref: np.ndarray, cand: np.ndarray) -> float:
+    """Worst-case symmetric relative divergence of two same-shape
+    arrays (no shape/emptiness validation — the shadow engine calls
+    this on every propagated operation).
+
+    Hardened for low-precision shadow values, which overflow and
+    produce NaN/inf readily:
+
+    * positions where the *reference* is non-finite carry no
+      information and are ignored;
+    * a finite reference against a non-finite candidate is an infinite
+      divergence;
+    * the denominator ``max(|ref|, |cand|)`` is only applied where the
+      difference is non-zero, so it is provably positive there — a
+      zero-against-zero cell contributes exactly 0, never 0/0.
+    """
+    with np.errstate(all="ignore"):
+        ref = np.asarray(ref, dtype=np.float64)
+        cand = np.asarray(cand, dtype=np.float64)
+        ref_ok = np.isfinite(ref)
+        if not ref_ok.all():
+            if not ref_ok.any():
+                return 0.0
+            ref = ref[ref_ok]
+            cand = cand[ref_ok]
+        if not np.isfinite(cand).all():
+            return float("inf")
+        diff = np.abs(ref - cand)
+        nonzero = diff > 0.0
+        if not nonzero.any():
+            return 0.0
+        diff = diff[nonzero]
+        denom = np.maximum(np.abs(ref[nonzero]), np.abs(cand[nonzero]))
+        return float(np.max(diff / denom))
+
+
+def relative_divergence(reference: Any, candidate: Any) -> float:
+    """Worst-case symmetric relative divergence,
+    ``max |ref - cand| / max(|ref|, |cand|)`` — extension metric and
+    the error measure of the shadow-value engine (:mod:`repro.shadow`).
+
+    Bounded in [0, 1] for same-signed values and at most 2 for finite
+    inputs; ``inf`` when a finite reference meets a NaN/inf candidate.
+    Unlike the other metrics it tolerates non-finite *reference*
+    positions (they are ignored) because shadow analysis compares
+    intermediate values, not just the verified final output.
+    """
+    ref, cand = _as_pair(reference, candidate)
+    return _relative_divergence_core(ref, cand)
 
 
 _METRICS: dict[str, MetricFn] = {}
@@ -166,3 +231,4 @@ register_metric("MCR", mcr)
 # Extension metrics beyond the paper's five:
 register_metric("LINF", max_abs_error)
 register_metric("MRE", mre)
+register_metric("RELDIV", relative_divergence)

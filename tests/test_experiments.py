@@ -94,7 +94,7 @@ class TestSearchDrivenExperiments:
     def test_experiment_names(self):
         assert EXPERIMENTS == (
             "table1", "table2", "table3", "table4", "table5", "fig2", "fig3",
-            "insights", "compare", "prune-stats",
+            "insights", "compare", "prune-stats", "shadow-stats",
             "ext-half", "ext-hrc", "ext-machines", "ext-convergence",
         )
 

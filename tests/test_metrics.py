@@ -8,7 +8,7 @@ import pytest
 from repro.errors import VerificationError
 from repro.verify.metrics import (
     available_metrics, get_metric, lower_is_better, mae, max_abs_error,
-    mcr, mre, mse, r_squared, register_metric, rmse,
+    mcr, mre, mse, r_squared, register_metric, relative_divergence, rmse,
 )
 
 
@@ -159,3 +159,70 @@ class TestExtensionMetrics:
         assert get_metric("mre") is mre
         assert lower_is_better("LINF")
         assert lower_is_better("MRE")
+
+
+class TestNonFiniteHardening:
+    """The metrics must stay warning-free and well-defined on the
+    degenerate inputs low-precision (shadow) executions produce."""
+
+    def test_mse_huge_candidate_overflows_to_inf_without_warning(self):
+        with np.errstate(over="raise"):  # any FP warning becomes an error
+            value = mse([0.0], [1e200])
+        assert value == float("inf")
+
+    def test_r2_constant_reference_imperfect_candidate(self):
+        assert r_squared([2.0, 2.0], [2.0, 3.0]) == float("-inf")
+
+    def test_r2_constant_reference_perfect_candidate(self):
+        assert r_squared([2.0, 2.0], [2.0, 2.0]) == 1.0
+
+    def test_mre_zero_reference_uses_absolute_error(self):
+        # a zero reference cell must not divide by an epsilon floor
+        assert mre([0.0, 1.0], [0.5, 1.0]) == pytest.approx(0.25)
+
+    def test_mre_all_zero_reference(self):
+        assert mre([0.0, 0.0], [0.0, 0.0]) == 0.0
+
+    def test_mre_no_warning_on_zero_denominator(self):
+        with np.errstate(divide="raise", invalid="raise"):
+            mre(np.zeros(4), np.ones(4))
+
+
+class TestRelativeDivergence:
+    def test_identical_is_zero(self):
+        x = np.linspace(-1, 1, 7)
+        assert relative_divergence(x, x.copy()) == 0.0
+
+    def test_known_value_is_symmetric(self):
+        assert relative_divergence([2.0], [1.0]) == pytest.approx(0.5)
+        assert relative_divergence([1.0], [2.0]) == pytest.approx(0.5)
+
+    def test_zero_against_zero_contributes_zero(self):
+        # 0 vs 0 must be exactly 0, never 0/0
+        with np.errstate(invalid="raise", divide="raise"):
+            assert relative_divergence([0.0, 1.0], [0.0, 1.0]) == 0.0
+
+    def test_zero_against_nonzero_is_one(self):
+        assert relative_divergence([0.0], [0.5]) == 1.0
+
+    def test_bounded_by_two_for_finite_inputs(self):
+        rng = np.random.default_rng(0)
+        ref = rng.standard_normal(64)
+        cand = -ref  # opposite signs: the worst finite case
+        assert relative_divergence(ref, cand) <= 2.0
+
+    def test_nonfinite_candidate_is_inf(self):
+        assert relative_divergence([1.0], [float("nan")]) == float("inf")
+        assert relative_divergence([1.0], [float("inf")]) == float("inf")
+
+    def test_nonfinite_reference_positions_ignored(self):
+        # inf reference cell carries no information; the finite cell decides
+        value = relative_divergence([float("inf"), 2.0], [0.0, 1.0])
+        assert value == pytest.approx(0.5)
+
+    def test_all_nonfinite_reference_is_zero(self):
+        assert relative_divergence([float("nan")], [1.0]) == 0.0
+
+    def test_registered(self):
+        assert get_metric("RELDIV") is relative_divergence
+        assert lower_is_better("RELDIV")

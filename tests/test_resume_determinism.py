@@ -33,6 +33,9 @@ REPO_ROOT = Path(__file__).parent.parent
 JOBS = [
     SearchJob("tridiag", "DD", 1e-8, max_evaluations=10),
     SearchJob("tridiag", "GA", 1e-8, max_evaluations=10),
+    # prune + shadow guidance together: both provenance blocks must
+    # ride through the journal and the resume byte-identically
+    SearchJob("eos", "DD", 1e-8, max_evaluations=10, prune=True, shadow=True),
 ]
 
 
@@ -89,6 +92,10 @@ def test_resume_is_bit_identical_to_uninterrupted(reference, cut):
         assert mine["outcome"]["evaluations"] == ref["outcome"]["evaluations"]
         assert mine["outcome"]["final"] == ref["outcome"]["final"]
         assert mine["outcome"]["trials"] == ref["outcome"]["trials"]
+    # the prune+shadow job's provenance composed and survived the resume
+    guided = payloads[-1]["outcome"]["metadata"]
+    assert guided["prune"]["locations_before"] >= guided["prune"]["locations_after"]
+    assert guided["shadow"]["variables"] > 0 and guided["shadow"]["ops"] > 0
 
 
 def test_resumed_journal_can_resume_again(reference):
