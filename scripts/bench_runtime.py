@@ -135,6 +135,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="exit non-zero if any overhead ratio exceeds this")
     parser.add_argument("--fail-under-speedup", type=float, default=None,
                         help="exit non-zero if geomean speedup vs baseline is lower")
+    parser.add_argument("--compare-to", type=Path, default=None, metavar="PATH",
+                        help="a committed BENCH_runtime.json to gate against: "
+                             "compares the geomean of per-benchmark "
+                             "overhead-ratio ratios (fresh / committed)")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        metavar="FRACTION",
+                        help="with --compare-to, exit non-zero if the geomean "
+                             "overhead ratio regressed by more than this "
+                             "fraction (default: 0.15)")
     args = parser.parse_args(argv)
 
     names = args.benchmarks or list(available_benchmarks())
@@ -200,6 +209,56 @@ def main(argv: list[str] | None = None) -> int:
                 f"below required x{args.fail_under_speedup:.2f}", file=sys.stderr,
             )
             return 1
+    if args.compare_to is not None:
+        return compare_to_committed(results, args.compare_to, args.max_regression)
+    return 0
+
+
+def compare_to_committed(
+    results: list[dict], committed_path: Path, max_regression: float
+) -> int:
+    """Regression gate against a committed BENCH_runtime.json.
+
+    The absolute timings move between hosts, so the gate compares the
+    host-independent quantity: each benchmark's ``overhead_ratio``
+    (instrumented / raw on the *same* machine).  A fresh/committed
+    ratio-of-ratios above ``1 + max_regression`` in geomean means the
+    instrumentation got slower relative to the raw compute.
+    """
+    if not committed_path.exists():
+        print(f"FAIL: no committed benchmark file at {committed_path}",
+              file=sys.stderr)
+        return 1
+    committed = json.loads(committed_path.read_text())
+    committed_map = {
+        r["benchmark"]: r["overhead_ratio"]
+        for r in committed.get("results", [])
+    }
+    ratios = []
+    for entry in results:
+        reference = committed_map.get(entry["benchmark"])
+        if reference is None or not (reference > 0 and math.isfinite(reference)):
+            print(f"  (no committed overhead for {entry['benchmark']}; skipped)")
+            continue
+        ratio = entry["overhead_ratio"] / reference
+        ratios.append(ratio)
+        print(f"  {entry['benchmark']:16s} overhead x{entry['overhead_ratio']:.2f}"
+              f"  committed x{reference:.2f}  ratio {ratio:.3f}")
+    if not ratios:
+        print("FAIL: no benchmarks overlap with the committed file",
+              file=sys.stderr)
+        return 1
+    overall = geomean(ratios)
+    limit = 1.0 + max_regression
+    print(f"geomean overhead regression vs {committed_path.name}: "
+          f"{overall:.3f} (limit {limit:.3f})")
+    if overall > limit:
+        print(
+            f"FAIL: per-trial overhead regressed {100 * (overall - 1):.1f}% "
+            f"in geomean, over the {100 * max_regression:.0f}% budget",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import importlib
 import os
 import tempfile
+import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
 from types import ModuleType
@@ -320,12 +321,23 @@ _SUITE_MODULES = (
     "repro.benchmarks.apps",
 )
 _loaded = False
+_load_lock = threading.Lock()
 
 
 def _ensure_suite_loaded() -> None:
-    """Import the suite packages so their @register_benchmark run."""
+    """Import the suite packages so their @register_benchmark run.
+
+    Thread-safe: concurrent first callers (e.g. service scheduler
+    workers racing through their first ``get_benchmark``) serialise on
+    the lock, and the loaded flag only flips once every registration
+    has run — no caller can observe a half-populated registry.
+    """
     global _loaded
-    if not _loaded:
-        _loaded = True
+    if _loaded:
+        return
+    with _load_lock:
+        if _loaded:
+            return
         for module in _SUITE_MODULES:
             importlib.import_module(module)
+        _loaded = True

@@ -61,6 +61,7 @@ All incidents are counted (``timeouts`` / ``retries`` /
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -76,8 +77,8 @@ from repro.core.types import PrecisionConfig
 
 __all__ = [
     "ExecutionFailure", "FaultPolicy", "BatchExecutor", "SerialExecutor",
-    "ThreadExecutor", "ProcessExecutor", "make_executor", "chunked",
-    "EXECUTOR_NAMES", "DEFAULT_BATCH_SIZE",
+    "ThreadExecutor", "ProcessExecutor", "WorkStealingQueue", "make_executor",
+    "chunked", "EXECUTOR_NAMES", "DEFAULT_BATCH_SIZE",
 ]
 
 EXECUTOR_NAMES = ("serial", "thread", "process")
@@ -106,6 +107,84 @@ def chunked(iterable, size: int):
 #: exception types the evaluator treats as a runtime error of the
 #: configuration (not of the harness)
 RUNTIME_ERRORS = (FloatingPointError, ZeroDivisionError, ValueError, OverflowError)
+
+
+class WorkStealingQueue:
+    """Multi-lane FIFO with work stealing, for sharded schedulers.
+
+    Each *lane* (one submitted grid job, in the service) holds its
+    shards in FIFO order.  A worker :meth:`pop`\\ s from its preferred
+    lane while that lane has work — shard locality keeps one job's
+    warm benchmark instances on one worker — and *steals* from the
+    longest other lane when its own runs dry, so a wide job's backlog
+    is drained by every idle worker instead of serialising behind one.
+    Ties are broken by lane name so scheduling is deterministic under
+    a single worker.
+
+    ``close()`` wakes every blocked ``pop`` permanently; a pop on a
+    closed, empty queue returns ``None``.  :meth:`drop_lane` removes a
+    lane wholesale (job cancellation) and returns the unstarted items.
+    """
+
+    def __init__(self) -> None:
+        self._lanes: dict[str, deque] = {}
+        self._condition = threading.Condition()
+        self._closed = False
+
+    def push(self, lane: str, item) -> None:
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._lanes.setdefault(lane, deque()).append(item)
+            self._condition.notify()
+
+    def _select_lane(self, preferred: str | None) -> str | None:
+        if preferred is not None and self._lanes.get(preferred):
+            return preferred
+        candidates = [(lane, q) for lane, q in self._lanes.items() if q]
+        if not candidates:
+            return None
+        # steal from the deepest backlog; lane-name tie-break for
+        # deterministic single-worker schedules
+        return max(candidates, key=lambda pair: (len(pair[1]), pair[0]))[0]
+
+    def pop(
+        self, preferred: str | None = None, timeout: float | None = None
+    ) -> tuple[str, Any] | None:
+        """Next ``(lane, item)``; ``None`` on timeout or closed-and-empty."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while True:
+                lane = self._select_lane(preferred)
+                if lane is not None:
+                    queue = self._lanes[lane]
+                    item = queue.popleft()
+                    if not queue:
+                        del self._lanes[lane]
+                    return lane, item
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._condition.wait(remaining)
+
+    def drop_lane(self, lane: str) -> list:
+        """Remove one lane; returns its not-yet-popped items."""
+        with self._condition:
+            queue = self._lanes.pop(lane, None)
+            return list(queue) if queue else []
+
+    def close(self) -> None:
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def __len__(self) -> int:
+        with self._condition:
+            return sum(len(q) for q in self._lanes.values())
 
 
 class ExecutionFailure:

@@ -48,8 +48,9 @@ from typing import Any, Mapping, Sequence
 from repro.errors import MixPBenchError
 
 __all__ = [
-    "JOURNAL_VERSION", "JournalError", "RunJournal", "RunState",
-    "JournalTrialStore", "grid_fingerprint", "job_key", "load_run_state",
+    "JOURNAL_VERSION", "JournalError", "JsonlJournal", "RunJournal",
+    "RunState", "JournalTrialStore", "grid_fingerprint", "job_key",
+    "load_run_state", "read_journal_records",
 ]
 
 #: bump when the journal record schema changes; a mismatch refuses to
@@ -129,39 +130,50 @@ class RunState:
         return self.trials.get(key, {})
 
 
-def load_run_state(path: str | Path) -> RunState:
-    """Parse a journal file, tolerating a torn trailing record.
+def read_journal_records(path: str | Path) -> tuple[list[dict], int, bool]:
+    """Parse any fsync'd JSON-lines journal, tolerating a torn tail.
 
     Records are consumed in order up to the first incomplete one: a
     line that is not valid JSON, is missing its trailing newline, or
     does not carry a ``kind`` marks the crash point — everything from
-    there on is ignored and ``valid_bytes`` points just before it.
-    A mid-file torn record therefore also fences off the records after
-    it; with fsync'd single-line appends that can only be the tail.
+    there on is ignored.  Returns ``(records, valid_bytes, torn_tail)``
+    where ``valid_bytes`` is the offset of the last complete record (a
+    resuming writer truncates the file there).  A mid-file torn record
+    also fences off the records after it; with fsync'd single-line
+    appends that can only be the tail.
     """
     path = Path(path)
-    state = RunState()
+    records: list[dict] = []
     if not path.exists():
-        return state
+        return records, 0, False
     data = path.read_bytes()
     offset = 0
+    torn = False
     for raw_line in data.splitlines(keepends=True):
         if not raw_line.endswith(b"\n"):
-            state.torn_tail = True
+            torn = True
             break
         try:
             record = json.loads(raw_line.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
-            state.torn_tail = True
+            torn = True
             break
         if not isinstance(record, dict) or "kind" not in record:
-            state.torn_tail = True
+            torn = True
             break
-        _apply_record(state, record)
+        records.append(record)
         offset += len(raw_line)
-    state.valid_bytes = offset
-    if offset < len(data) and not state.torn_tail:
-        state.torn_tail = True
+    if offset < len(data):
+        torn = True
+    return records, offset, torn
+
+
+def load_run_state(path: str | Path) -> RunState:
+    """Parse a grid-run journal back into a :class:`RunState`."""
+    state = RunState()
+    records, state.valid_bytes, state.torn_tail = read_journal_records(path)
+    for record in records:
+        _apply_record(state, record)
     return state
 
 
@@ -183,7 +195,54 @@ def _apply_record(state: RunState, record: dict) -> None:
     # unknown kinds are forward-compatible no-ops
 
 
-class RunJournal:
+class JsonlJournal:
+    """Append-only, fsync'd JSON-lines journal.
+
+    The durable-logging substrate shared by :class:`RunJournal` (one
+    grid run) and the service journal (:mod:`repro.service.queue`).
+    Each :meth:`append` is a single ``write`` of one full line followed
+    by ``flush`` + ``fsync``, so a crash can only ever lose or tear the
+    *last* record; :func:`read_journal_records` drops the torn tail on
+    the way back in.  Appends are thread-safe.
+
+    ``truncate_at`` (the ``valid_bytes`` of a prior read) is applied
+    before opening for append, so a resuming writer starts on a record
+    boundary instead of accreting garbage after a torn record.
+    """
+
+    def __init__(self, path: str | Path, truncate_at: int | None = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        if truncate_at is not None and self.path.exists():
+            if self.path.stat().st_size > truncate_at:
+                with self.path.open("r+b") as handle:
+                    handle.truncate(truncate_at)
+        self._handle = self.path.open("ab")
+
+    def append(self, kind: str, **fields: Any) -> None:
+        """Durably append one record: one write, one flush, one fsync."""
+        record = {"kind": kind}
+        record.update(fields)
+        line = (json.dumps(record, sort_keys=True, default=str) + "\n").encode()
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RunJournal(JsonlJournal):
     """Append-only, fsync'd journal of one grid run.
 
     Opening for a *fresh* run writes the header record; opening with
@@ -204,45 +263,43 @@ class RunJournal:
             raise JournalError(f"invalid run id {run_id!r}")
         self.run_id = run_id
         self.directory = Path(runs_dir) / run_id
-        self.path = self.directory / "journal.jsonl"
-        self._lock = threading.Lock()
+        path = self.directory / "journal.jsonl"
         fingerprint = grid_fingerprint(jobs)
 
+        truncate_at = None
         if resume:
-            if not self.path.exists():
+            if not path.exists():
                 raise JournalError(
-                    f"cannot resume run {run_id!r}: no journal at {self.path}"
+                    f"cannot resume run {run_id!r}: no journal at {path}"
                 )
-            self.state = load_run_state(self.path)
-            self._check_resumable(fingerprint)
+            self.state = load_run_state(path)
+            self._check_resumable(fingerprint, path)
             if self.state.torn_tail:
-                with self.path.open("r+b") as handle:
-                    handle.truncate(self.state.valid_bytes)
+                truncate_at = self.state.valid_bytes
         else:
-            if self.path.exists() and self.path.stat().st_size > 0:
+            if path.exists() and path.stat().st_size > 0:
                 raise JournalError(
-                    f"run {run_id!r} already has a journal at {self.path}; "
+                    f"run {run_id!r} already has a journal at {path}; "
                     "pass resume to continue it or pick a fresh run id"
                 )
             self.state = RunState(run_id=run_id)
 
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self._handle = self.path.open("ab")
+        super().__init__(path, truncate_at=truncate_at)
         if not resume:
             self.append(
                 "run", run_id=run_id, version=JOURNAL_VERSION,
                 grid=fingerprint, jobs=[job_key(i, j) for i, j in enumerate(jobs)],
             )
 
-    def _check_resumable(self, fingerprint: str) -> None:
+    def _check_resumable(self, fingerprint: str, path: Path) -> None:
         meta = self.state.meta
         if meta is None:
             raise JournalError(
-                f"journal {self.path} has no run header; refusing to resume"
+                f"journal {path} has no run header; refusing to resume"
             )
         if meta.get("version") != JOURNAL_VERSION:
             raise JournalError(
-                f"journal {self.path} has version {meta.get('version')!r}, "
+                f"journal {path} has version {meta.get('version')!r}, "
                 f"this code writes {JOURNAL_VERSION}; refusing to resume"
             )
         if meta.get("grid") != fingerprint:
@@ -250,16 +307,6 @@ class RunJournal:
                 f"run {self.run_id!r} journaled a different job grid "
                 f"({meta.get('grid')} != {fingerprint}); refusing to resume"
             )
-
-    def append(self, kind: str, **fields: Any) -> None:
-        """Durably append one record: one write, one flush, one fsync."""
-        record = {"kind": kind}
-        record.update(fields)
-        line = (json.dumps(record, sort_keys=True, default=str) + "\n").encode()
-        with self._lock:
-            self._handle.write(line)
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
 
     def append_trial(
         self, key: str, context: str, config_digest: str, record: Mapping
@@ -271,17 +318,6 @@ class RunJournal:
 
     def append_job_done(self, key: str, result_payload: Mapping) -> None:
         self.append("job_done", job=key, result=dict(result_payload))
-
-    def close(self) -> None:
-        with self._lock:
-            if not self._handle.closed:
-                self._handle.close()
-
-    def __enter__(self) -> "RunJournal":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
 
 class JournalTrialStore:

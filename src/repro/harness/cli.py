@@ -8,6 +8,11 @@ Subcommands::
     mixpbench run CONFIG.yaml              # run a YAML harness file
     mixpbench search BENCH --algorithm DD  # one ad-hoc search
     mixpbench sensitivity BENCH            # shadow-run error attribution
+    mixpbench serve --state-dir DIR        # run the search service daemon
+    mixpbench submit --programs ...        # queue a grid on the service
+    mixpbench status [JOB]                 # inspect the service ledger
+    mixpbench attach JOB                   # follow a job to completion
+    mixpbench cancel JOB                   # ask the daemon to cancel a job
 """
 
 from __future__ import annotations
@@ -220,6 +225,123 @@ def build_parser() -> argparse.ArgumentParser:
         "--precision", default="double",
         help="uniform precision to profile (double/single/half)",
     )
+
+    def _add_state_dir(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--state-dir", default="service",
+            help="service state directory (ledger, shared cache, spool; "
+                 "default: ./service)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the search service daemon: accept grid submissions "
+             "from many tenants, dedupe through one shared cache",
+    )
+    _add_state_dir(serve)
+    serve.add_argument(
+        "--service-workers", type=int, default=2, metavar="N",
+        help="worker threads draining the shard queue (default: 2)",
+    )
+    serve.add_argument(
+        "--quota", type=int, default=8, metavar="N",
+        help="per-tenant ceiling on active (queued+running) jobs (default: 8)",
+    )
+    serve.add_argument(
+        "--shard-retries", type=int, default=2, metavar="N",
+        help="redispatch a crashed shard up to N times (default: 2)",
+    )
+    serve.add_argument(
+        "--poll-seconds", type=float, default=0.1, metavar="SECONDS",
+        help="spool polling interval (default: 0.1)",
+    )
+    serve.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with no active jobs and an empty "
+             "spool (default: serve until <state-dir>/stop appears)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a (program x algorithm x threshold) grid to a "
+             "running `mixpbench serve` daemon",
+    )
+    _add_state_dir(submit)
+    submit.add_argument("--programs", nargs="+", required=True, metavar="BENCH")
+    submit.add_argument(
+        "--algorithms", nargs="+", required=True, metavar="ALGO",
+        help=f"one or more of {available_strategies()}",
+    )
+    submit.add_argument("--thresholds", nargs="+", type=float, required=True)
+    submit.add_argument("--max-evaluations", type=int, default=None)
+    submit.add_argument("--time-limit-hours", type=float, default=24.0)
+    submit.add_argument(
+        "--tenant", default="default",
+        help="tenant the job is accounted against (default: default)",
+    )
+    submit.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default="serial",
+        help="batch backend each shard evaluates with (default: serial)",
+    )
+    submit.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the thread/process executors",
+    )
+    submit.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock budget inside each shard",
+    )
+    submit.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry transient worker failures up to N times",
+    )
+    submit.add_argument(
+        "--prune", action="store_true",
+        help="restrict every shard's search space with the static pruner",
+    )
+    _add_order_flag(submit)
+    submit.add_argument(
+        "--ack-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long to wait for the daemon to acknowledge (default: 30)",
+    )
+    submit.add_argument(
+        "--attach", action="store_true",
+        help="stay attached: stream progress and exit with the job's outcome",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="inspect the service ledger (read-only; daemon not required)",
+    )
+    status.add_argument("job_id", nargs="?", default=None)
+    _add_state_dir(status)
+    status.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+
+    attach = sub.add_parser(
+        "attach",
+        help="follow a submitted job: stream progress, exit with its "
+             "outcome (0 done, 1 failed, 3 cancelled)",
+    )
+    attach.add_argument("job_id")
+    _add_state_dir(attach)
+    attach.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up (exit 2) if the job is still live after this long",
+    )
+    attach.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="also copy the job's results.json (the same payload "
+             "`mixpbench grid` writes) to PATH",
+    )
+
+    cancel = sub.add_parser(
+        "cancel", help="ask the serving daemon to cancel a job",
+    )
+    cancel.add_argument("job_id")
+    _add_state_dir(cancel)
 
     report = sub.add_parser(
         "report", help="analyse saved search outcomes (interchange JSON)",
@@ -487,6 +609,136 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _submit_spec(args: argparse.Namespace):
+    from repro.service import GridSpec
+
+    return GridSpec(
+        programs=tuple(args.programs),
+        algorithms=tuple(args.algorithms),
+        thresholds=tuple(args.thresholds),
+        max_evaluations=args.max_evaluations,
+        time_limit_seconds=args.time_limit_hours * 3600.0,
+        executor=args.executor,
+        executor_workers=args.workers,
+        trial_timeout=args.trial_timeout,
+        max_retries=args.max_retries,
+        prune=args.prune,
+        shadow=args.order == "shadow",
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import Scheduler
+
+    scheduler = Scheduler(
+        args.state_dir,
+        workers=args.service_workers,
+        quota=args.quota,
+        shard_retries=args.shard_retries,
+    )
+    print(f"serving {scheduler.paths['root']} "
+          f"({scheduler.workers} workers, quota {scheduler.quota}/tenant; "
+          f"touch {scheduler.paths['root'] / 'stop'} to drain and exit)")
+    scheduler.serve(
+        poll_seconds=args.poll_seconds,
+        idle_exit_seconds=args.idle_exit,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import submit_request
+
+    spec = _submit_spec(args)
+    job_id = submit_request(
+        args.state_dir, spec, tenant=args.tenant, timeout=args.ack_timeout,
+    )
+    print(f"submitted {job_id}: {spec.label()} (tenant {args.tenant})")
+    if not args.attach:
+        print(f"follow with: mixpbench attach {job_id} "
+              f"--state-dir {args.state_dir}")
+        return 0
+    return _follow(args.state_dir, job_id, timeout=None, save=None)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import job_status, service_status
+
+    if args.job_id is not None:
+        payload = job_status(args.state_dir, args.job_id)
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"{payload['job_id']}  {payload['state']:9s}  "
+              f"tenant {payload['tenant']}  {payload['label']}")
+        print(f"  shards: {payload['shards_finished']}/{payload['shards']}")
+        if payload["error"]:
+            print(f"  error : {payload['error']}")
+        stats = payload["stats"]
+        if stats:
+            print(f"  stats : EV {stats.get('evaluations', 0)}, "
+                  f"fresh {stats.get('fresh_evaluations', 0)}, "
+                  f"shared-cache hits {stats.get('persistent_hits', 0)}, "
+                  f"redispatched {stats.get('redispatched_shards', 0)}")
+        return 0
+
+    snapshot = service_status(args.state_dir)
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    pid = snapshot["serving_pid"]
+    print(f"daemon: {'pid %d' % pid if pid else 'not running'}")
+    rows = [
+        [job["job_id"], job["tenant"], job["state"],
+         f"{job['shards_finished']}/{job['shards']}", job["label"]]
+        for job in snapshot["jobs"]
+    ]
+    if rows:
+        print(format_table(
+            ["job", "tenant", "state", "shards", "grid"], rows,
+            f"service ledger ({len(rows)} jobs)",
+        ))
+    else:
+        print("no jobs submitted yet")
+    return 0
+
+
+def _follow(
+    state_dir: str, job_id: str, timeout: float | None, save: str | None
+) -> int:
+    import shutil
+
+    from repro.service import ATTACH_EXIT_CODES, attach, results_path
+
+    state = attach(
+        state_dir, job_id,
+        stream=lambda line: print(f"  {line}"),
+        timeout=timeout,
+    )
+    print(f"{job_id}: {state}")
+    if save is not None and state == "done":
+        source = results_path(state_dir, job_id)
+        shutil.copyfile(source, save)
+        print(f"results saved to {save}")
+    return ATTACH_EXIT_CODES.get(state, 2)
+
+
+def _cmd_attach(args: argparse.Namespace) -> int:
+    return _follow(args.state_dir, args.job_id, args.timeout, args.save)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import request_cancel
+
+    request_cancel(args.state_dir, args.job_id)
+    print(f"cancellation of {args.job_id} requested "
+          f"(confirm with: mixpbench status {args.job_id} "
+          f"--state-dir {args.state_dir})")
+    return 0
+
+
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.shadow import recommend_and_verify, run_shadow_analysis
 
@@ -610,6 +862,16 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_grid(args)
         if args.command == "sensitivity":
             return _cmd_sensitivity(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "attach":
+            return _cmd_attach(args)
+        if args.command == "cancel":
+            return _cmd_cancel(args)
         if args.command == "profile":
             return _cmd_profile(args.benchmark, args.precision)
         if args.command == "report":

@@ -39,7 +39,7 @@ from repro.runtime.cache import EvaluationCache
 from repro.search.registry import canonical_name, make_strategy
 from repro.verify.quality import QualitySpec
 
-__all__ = ["SearchJob", "JobResult", "run_grid", "grid_jobs"]
+__all__ = ["SearchJob", "JobResult", "run_grid", "run_shard", "grid_jobs"]
 
 _DEFAULT_TIME_LIMIT = 24 * 3600.0
 
@@ -153,12 +153,24 @@ def grid_jobs(
     ]
 
 
-def _run_job(
+def run_shard(
     job: SearchJob,
     journal: RunJournal | None = None,
     key: str | None = None,
     replay: Mapping[str, dict] | None = None,
+    cache: EvaluationCache | None = None,
 ) -> JobResult:
+    """Run one (program, algorithm, threshold) shard to completion.
+
+    This is the unit both :func:`run_grid` and the
+    :class:`repro.service.scheduler.Scheduler` dispatch to workers.
+    With a ``journal``/``key`` the shard's fresh trials are fsync'd as
+    they complete and ``replay`` trials are replayed through the
+    evaluator's cache path (bit-identical resume).  ``cache`` injects a
+    shared :class:`~repro.runtime.cache.EvaluationCache` *instance*
+    (the service's cross-tenant dedupe store); without it, one is
+    opened from ``job.cache_dir`` when set.
+    """
     try:
         bench = get_benchmark(job.program)
         quality = QualitySpec(job.metric or bench.metric, job.threshold)
@@ -166,7 +178,8 @@ def _run_job(
             job.executor, job.executor_workers,
             trial_timeout=job.trial_timeout, max_retries=job.max_retries,
         )
-        cache = EvaluationCache(job.cache_dir) if job.cache_dir else None
+        if cache is None:
+            cache = EvaluationCache(job.cache_dir) if job.cache_dir else None
         if journal is not None and key is not None:
             # fresh trials are journaled as they complete; journaled
             # ones replay with identical cost/EV (see repro.core.checkpoint)
@@ -226,7 +239,7 @@ def run_grid(
 
     Results are returned in submission order regardless of completion
     order, so downstream tables are deterministic.  A job that fails —
-    even with an exception that escapes :func:`_run_job` itself — is
+    even with an exception that escapes :func:`run_shard` itself — is
     reported as an error :class:`JobResult`; it never aborts the
     collection of the remaining jobs.
 
@@ -263,7 +276,7 @@ def run_grid(
 
         def _execute(index: int, job: SearchJob, key: str) -> JobResult:
             replay = state.job_trials(key) if state is not None else None
-            return _run_job(job, journal=journal, key=key, replay=replay)
+            return run_shard(job, journal=journal, key=key, replay=replay)
 
         if workers <= 1:
             for index, job, key in pending:

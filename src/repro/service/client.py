@@ -1,0 +1,225 @@
+"""Client side of the service: submit, status, attach, cancel.
+
+The client and the daemon share nothing but the state directory.  The
+submission handshake is a spool protocol — the client atomically drops
+``spool/<token>.json`` (write-to-temp, rename), the daemon ingests it
+and answers with ``spool/<token>.ack.json`` carrying either the
+assigned job id or a rejection (quota, draining, malformed spec).
+Everything else is read-only: ``status`` rebuilds the ledger from the
+fsync'd service journal, ``attach`` tails the job's advisory
+``progress.jsonl`` and polls the ledger for the terminal state.  A
+client therefore never needs the daemon alive to *inspect* state —
+only to get new work accepted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Callable
+
+from repro.core.checkpoint import load_run_state
+from repro.errors import MixPBenchError
+from repro.service.queue import load_service_state, state_paths
+from repro.service.spec import GridSpec
+
+__all__ = [
+    "ServiceError", "submit_request", "service_status", "job_status",
+    "attach", "request_cancel", "results_path", "ATTACH_EXIT_CODES",
+]
+
+#: `mixpbench attach` exit codes, one per terminal state
+ATTACH_EXIT_CODES = {"done": 0, "failed": 1, "cancelled": 3}
+
+
+class ServiceError(MixPBenchError):
+    """The service rejected a request or cannot be reached."""
+
+
+def submit_request(
+    state_dir: str | Path,
+    spec: GridSpec,
+    tenant: str = "default",
+    timeout: float = 30.0,
+    poll_seconds: float = 0.05,
+) -> str:
+    """Submit a spec through the spool; returns the assigned job id.
+
+    Raises :class:`ServiceError` when the daemon rejects the job or
+    does not acknowledge within ``timeout`` (usually: nothing is
+    serving this state directory).
+    """
+    paths = state_paths(state_dir)
+    paths["spool"].mkdir(parents=True, exist_ok=True)
+    token = uuid.uuid4().hex
+    request = paths["spool"] / f"{token}.json"
+    ack_path = paths["spool"] / f"{token}.ack.json"
+    payload = {"tenant": tenant, "spec": spec.to_json_dict()}
+    tmp = request.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    tmp.replace(request)
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if ack_path.exists():
+            try:
+                ack = json.loads(ack_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                time.sleep(poll_seconds)
+                continue
+            ack_path.unlink(missing_ok=True)
+            if ack.get("ok"):
+                return ack["job_id"]
+            raise ServiceError(f"submission rejected: {ack.get('error')}")
+        time.sleep(poll_seconds)
+    request.unlink(missing_ok=True)
+    raise ServiceError(
+        f"no acknowledgement after {timeout:g}s — is `mixpbench serve` "
+        f"running on {paths['root']}?"
+    )
+
+
+def service_status(state_dir: str | Path) -> dict:
+    """Ledger snapshot of every job (read-only; daemon not required)."""
+    paths = state_paths(state_dir)
+    state = load_service_state(paths["journal"])
+    jobs = []
+    for record in state.jobs.values():
+        jobs.append(_job_payload(paths, record))
+    pid_file = paths["root"] / "serve.pid"
+    serving = None
+    if pid_file.exists():
+        try:
+            pid = int(pid_file.read_text().strip())
+            os.kill(pid, 0)  # liveness probe, no signal delivered
+            serving = pid
+        except (ValueError, ProcessLookupError, PermissionError):
+            serving = None
+    return {"jobs": jobs, "serving_pid": serving}
+
+
+def job_status(state_dir: str | Path, job_id: str) -> dict:
+    """Ledger snapshot of one job."""
+    paths = state_paths(state_dir)
+    state = load_service_state(paths["journal"])
+    record = state.jobs.get(job_id)
+    if record is None:
+        raise ServiceError(f"no such job: {job_id!r}")
+    return _job_payload(paths, record)
+
+
+def _job_payload(paths: dict[str, Path], record) -> dict:
+    total = record.spec.shards
+    if record.terminal:
+        finished = int(record.stats.get("shards_done", 0)
+                       + record.stats.get("shards_failed", 0))
+    else:
+        # live progress comes from the job's own run journal
+        run_journal = paths["runs"] / record.job_id / "journal.jsonl"
+        finished = len(load_run_state(run_journal).finished)
+    return {
+        "job_id": record.job_id,
+        "tenant": record.tenant,
+        "state": record.state,
+        "label": record.spec.label(),
+        "shards": total,
+        "shards_finished": finished,
+        "error": record.error,
+        "stats": dict(record.stats),
+    }
+
+
+def results_path(state_dir: str | Path, job_id: str) -> Path:
+    return state_paths(state_dir)["jobs"] / job_id / "results.json"
+
+
+def attach(
+    state_dir: str | Path,
+    job_id: str,
+    stream: Callable[[str], None] | None = None,
+    poll_seconds: float = 0.2,
+    timeout: float | None = None,
+) -> str:
+    """Follow a job to its terminal state; returns that state.
+
+    Progress events appended by the scheduler are forwarded to
+    ``stream`` (one formatted line per event) as they appear, so an
+    attached client sees shards finish live.  Raises
+    :class:`ServiceError` on an unknown job or on timeout.
+    """
+    paths = state_paths(state_dir)
+    progress = paths["jobs"] / job_id / "progress.jsonl"
+    offset = 0
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        offset = _drain_progress(progress, offset, stream)
+        state = load_service_state(paths["journal"])
+        record = state.jobs.get(job_id)
+        if record is None:
+            raise ServiceError(f"no such job: {job_id!r}")
+        if record.terminal:
+            _drain_progress(progress, offset, stream)
+            return record.state
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ServiceError(
+                f"job {job_id} still {record.state} after {timeout:g}s"
+            )
+        time.sleep(poll_seconds)
+
+
+def _drain_progress(
+    path: Path, offset: int, stream: Callable[[str], None] | None
+) -> int:
+    if stream is None or not path.exists():
+        return offset
+    data = path.read_bytes()
+    for raw_line in data[offset:].splitlines(keepends=True):
+        if not raw_line.endswith(b"\n"):
+            break  # mid-append; pick it up on the next poll
+        try:
+            event = json.loads(raw_line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            offset += len(raw_line)
+            continue
+        stream(_format_event(event))
+        offset += len(raw_line)
+    return offset
+
+
+def _format_event(event: dict) -> str:
+    kind = event.get("kind")
+    if kind == "state":
+        extra = ""
+        stats = event.get("stats") or {}
+        if stats:
+            extra = (
+                f"  (shards {stats.get('shards_done', 0)}/{stats.get('shards', 0)}"
+                f", EV {stats.get('evaluations', 0)}"
+                f", shared-cache hits {stats.get('persistent_hits', 0)})"
+            )
+        return f"state: {event.get('state')}{extra}"
+    if kind == "shard":
+        evaluations = event.get("evaluations")
+        suffix = f", EV {evaluations}" if evaluations is not None else ""
+        return f"shard {event.get('shard')}: {event.get('status')}{suffix}"
+    return json.dumps(event, sort_keys=True)
+
+
+def request_cancel(state_dir: str | Path, job_id: str) -> None:
+    """Ask the serving daemon to cancel a job (via the control spool).
+
+    Cancellation is delivered through a ``cancel`` spool request the
+    daemon ingests on its next poll; this returns once the request is
+    dropped, not once the job is cancelled — follow up with
+    :func:`job_status` or :func:`attach`.
+    """
+    paths = state_paths(state_dir)
+    paths["spool"].mkdir(parents=True, exist_ok=True)
+    token = uuid.uuid4().hex
+    request = paths["spool"] / f"{token}.cancel.json"
+    tmp = request.with_suffix(".tmp")
+    tmp.write_text(json.dumps({"job_id": job_id}, sort_keys=True))
+    tmp.replace(request)

@@ -209,7 +209,7 @@ class TestRunGridJournaling:
         def boom(*args, **kwargs):
             raise AssertionError("a finished job was re-run on resume")
 
-        monkeypatch.setattr(scheduler, "_run_job", boom)
+        monkeypatch.setattr(scheduler, "run_shard", boom)
         second = run_grid(jobs, resume="r1", runs_dir=runs)
         assert all(result.resumed for result in second)
         assert _payloads(second) == _payloads(first)
@@ -270,14 +270,14 @@ class TestGridCollection:
             SearchJob("tridiag", "GA", 1e-6, max_evaluations=2),
             SearchJob("tridiag", "CB", 1e-6, max_evaluations=2),
         ]
-        real = scheduler._run_job
+        real = scheduler.run_shard
 
         def flaky(job, **kwargs):
             if job.algorithm == "GA":
-                raise RuntimeError("worker exploded outside _run_job's guard")
+                raise RuntimeError("worker exploded outside run_shard's guard")
             return real(job, **kwargs)
 
-        monkeypatch.setattr(scheduler, "_run_job", flaky)
+        monkeypatch.setattr(scheduler, "run_shard", flaky)
         results = run_grid(jobs, workers=workers)
         assert [result.job for result in results] == jobs  # submission order
         assert results[0].ok and results[2].ok
@@ -287,7 +287,7 @@ class TestGridCollection:
 
     def test_error_results_serialize(self, data_env, monkeypatch):
         monkeypatch.setattr(
-            scheduler, "_run_job",
+            scheduler, "run_shard",
             lambda job, **kwargs: (_ for _ in ()).throw(OSError("disk gone")),
         )
         job = SearchJob("tridiag", "DD", 1e-6)
