@@ -142,6 +142,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="where to write the results JSON")
     parser.add_argument("--fail-over-ratio", type=float, default=None,
                         help="exit non-zero if any shadow overhead exceeds this")
+    parser.add_argument("--compare-to", type=Path, default=None, metavar="PATH",
+                        help="a committed BENCH_shadow.json to gate against: "
+                             "compares the geomean of per-benchmark "
+                             "overhead-ratio ratios (fresh / committed)")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        metavar="FRACTION",
+                        help="with --compare-to, exit non-zero if the geomean "
+                             "shadow overhead regressed by more than this "
+                             "fraction (default: 0.15)")
     args = parser.parse_args(argv)
 
     pairs = (
@@ -196,6 +205,56 @@ def main(argv: list[str] | None = None) -> int:
                     f"exceeds limit x{args.fail_over_ratio:.2f}", file=sys.stderr,
                 )
             return 1
+    if args.compare_to is not None:
+        return compare_to_committed(results, args.compare_to, args.max_regression)
+    return 0
+
+
+def compare_to_committed(
+    results: list[dict], committed_path: Path, max_regression: float
+) -> int:
+    """Regression gate against a committed BENCH_shadow.json.
+
+    Same discipline as scripts/bench_runtime.py: absolute timings move
+    between hosts, so the gate compares each benchmark's
+    ``overhead_ratio`` (shadow / plain on the *same* machine).  A
+    fresh/committed ratio-of-ratios above ``1 + max_regression`` in
+    geomean means the shadow instrumentation got slower relative to a
+    plain instrumented run.
+    """
+    if not committed_path.exists():
+        print(f"FAIL: no committed benchmark file at {committed_path}",
+              file=sys.stderr)
+        return 1
+    committed = json.loads(committed_path.read_text())
+    committed_map = {
+        r["benchmark"]: r["overhead_ratio"]
+        for r in committed.get("results", [])
+    }
+    ratios = []
+    for entry in results:
+        reference = committed_map.get(entry["benchmark"])
+        if reference is None or not (reference > 0 and math.isfinite(reference)):
+            print(f"  (no committed overhead for {entry['benchmark']}; skipped)")
+            continue
+        ratio = entry["overhead_ratio"] / reference
+        ratios.append(ratio)
+        print(f"  {entry['benchmark']:16s} overhead x{entry['overhead_ratio']:.2f}"
+              f"  committed x{reference:.2f}  ratio {ratio:.3f}")
+    if not ratios:
+        print("FAIL: no benchmarks overlap with the committed file",
+              file=sys.stderr)
+        return 1
+    overall = geomean(ratios)
+    limit = 1.0 + max_regression
+    print(f"geomean shadow-overhead regression vs {committed_path.name}: "
+          f"{overall:.3f} (limit {limit:.3f})")
+    if overall > limit:
+        print(
+            f"FAIL: shadow overhead regressed {100 * (overall - 1):.1f}% "
+            f"in geomean (limit {100 * max_regression:.0f}%)", file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -13,6 +13,7 @@ The harness is driven by a per-benchmark YAML file::
       executor: process          # batch executor: serial/thread/process
       workers: 4                 # worker count for thread/process
       cache: true                # persistent evaluation cache on/off
+      fuse: true                 # trace-fusion fast path on/off
       analysis:
         floatsmith:              # analysis id
           name: floatSmith       # plugin name in the registry
@@ -38,7 +39,7 @@ __all__ = ["AnalysisSpec", "HarnessConfig", "load_config", "parse_config"]
 _TOP_KEYS = {
     "benchmark", "build", "build_dir", "clean", "metric", "threshold",
     "runs", "time_limit_hours", "analysis", "args", "bin", "copy", "output",
-    "executor", "workers", "cache", "prune", "shadow",
+    "executor", "workers", "cache", "prune", "shadow", "fuse",
 }
 
 _EXECUTOR_NAMES = ("serial", "thread", "process")
@@ -77,6 +78,8 @@ class HarnessConfig:
     prune: bool | None = None
     #: shadow-guided search ordering toggle; None inherits
     shadow: bool | None = None
+    #: trace-fusion fast path toggle; None inherits
+    fuse: bool | None = None
 
     def analysis(self, identifier: str) -> AnalysisSpec:
         for spec in self.analyses:
@@ -179,6 +182,12 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
             f"{source}: {name}: shadow must be a boolean"
         )
 
+    fuse = body.get("fuse")
+    if fuse is not None and not isinstance(fuse, bool):
+        raise HarnessConfigError(
+            f"{source}: {name}: fuse must be a boolean"
+        )
+
     analyses = []
     for identifier, spec in (body.get("analysis") or {}).items():
         if not isinstance(spec, Mapping) or "name" not in spec:
@@ -207,4 +216,5 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
         cache=cache,
         prune=prune,
         shadow=shadow,
+        fuse=fuse,
     )

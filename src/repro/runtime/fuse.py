@@ -1,0 +1,1637 @@
+"""Trace fusion: compile hot recipe sequences into fused kernels.
+
+PR 2's signature-memoised recipes classify one ufunc call at a time;
+this module stitches *sequences* of those calls together.  A
+per-workspace :class:`FuseTracer` watches the straight-line stream of
+no-kwargs ``__call__`` ufuncs, learns chains whose op/dtype/shape
+signatures repeat, and promotes a twice-seen chain into a
+:class:`Region`: a tiny SSA-style IR plus one generated Python function
+per *segment* (``compile()`` + ``exec``), cached on disk keyed by the
+region's content digest.  When the first op of a promoted region shows
+up again and its guards pass, the segment function computes every
+result in the region at once; the tracer then hands the precomputed
+results out one per matched kernel-level call, applying each op's
+precomputed profile delta so ``Profile`` counters stay identical to the
+interpreted path.
+
+Exactness is the design invariant, enforced three ways:
+
+* Generated code applies the recorded ufuncs to the recorded operands
+  elementwise **in recorded order** — no reassociation, no
+  simplification — so values are bit-identical to the interpreted path.
+* Results are handed out lazily, one per matched call.  Any guard miss
+  (different ufunc, operand identity, dtype/shape, scalar value) or any
+  foreign event (store, fill, ``out=``, declaration) discards the
+  pending results *before* anything observable happened and falls back
+  to the interpreted path.
+* Reference mode (:func:`repro.runtime.mparray.set_reference_mode`)
+  never constructs a tracer, so the reference recorder is untouched.
+
+Shadow mode reuses the same learner with wrapper-identity guards: one
+generated segment updates the fp64 reference and every shadow replica
+in a single pass (reference ops under the ambient errstate, shadow ops
+under one ``errstate(all="ignore")`` block instead of one per op), and
+hand-out routes through the real ``ShadowContext.observe`` so
+attribution stats stay bit-identical.
+
+Escape hatches: ``MIXPBENCH_FUSE=0`` / :func:`set_fusion_enabled`
+disable fusion globally; ``MIXPBENCH_FUSE_NUMBA=1`` opts into an
+``@njit`` tier for IEEE-exact same-dtype elementwise segments when
+numba is importable (pure-codegen otherwise); ``MIXPBENCH_FUSE_CACHE``
+or :func:`set_fuse_cache_dir` point the compiled-region disk cache at a
+shared directory (the search service shares one across shards).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import weakref
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "FuseStats", "FuseTracer", "Region", "STATS", "fusion_enabled",
+    "set_fusion_enabled", "set_fuse_cache_dir", "plain_tracer",
+    "shadow_tracer", "registry_snapshot", "reset_registry",
+]
+
+#: minimum chain length worth compiling, per mode.  Plain mode needs
+#: long chains: the interpreted fast path is already near raw-NumPy
+#: parity, so only well-batched regions beat their own guard costs.
+#: Shadow mode profits from every op (each one skips a wrapper
+#: dispatch, an errstate toggle and the replica walk).
+_MIN_OPS_PLAIN = 6
+_MIN_OPS_SHADOW = 2
+#: a plain-mode chain must fuse at least half its ops with a
+#: predecessor (shadow mode saves per-op overhead even in 1-op
+#: segments, plain mode does not)
+_MAX_CHAIN = 32
+_MAX_REGIONS = 512
+_MAX_PENDING = 512
+#: learning cooldown: after this many consecutive tracers (roughly,
+#: executions) created without the registry learning anything new —
+#: no novel pending chain, no region compiled — new tracers stop
+#: recording chains.  That is the steady state of a long search,
+#: where re-learning settled chains on every evaluation is pure
+#: per-op overhead.  Matching/replay of promoted regions continues
+#: regardless.
+_IDLE_TRACERS = 12
+#: while cooled down, every Nth tracer still learns, so a novel op
+#: stream (new benchmark in a long-lived service process) re-arms
+#: learning for everyone via the progress epoch.
+_PROBE_INTERVAL = 64
+
+_FALSEY = ("0", "false", "no", "off")
+
+
+def _env_enabled(name: str, default: bool) -> bool:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return value.strip().lower() not in _FALSEY
+
+
+_FORCED: bool | None = None
+
+
+def fusion_enabled() -> bool:
+    """Whether new workspaces get a fusion tracer.  CLI/harness force
+    via :func:`set_fusion_enabled`; otherwise ``MIXPBENCH_FUSE``."""
+    if _FORCED is not None:
+        return _FORCED
+    return _env_enabled("MIXPBENCH_FUSE", True)
+
+
+def set_fusion_enabled(enabled: bool | None) -> bool | None:
+    """Force fusion on/off process-wide (``None`` restores env
+    control).  Fusion is bit-identical either way, so flipping this
+    mid-run changes performance only.  Returns the previous forced
+    value so scoped callers (harness entries, grid shards) can
+    restore it."""
+    global _FORCED
+    previous = _FORCED
+    _FORCED = enabled
+    return previous
+
+
+class FuseStats:
+    """Process-global fusion counters (plain int increments: each is a
+    single bytecode-atomic operation under the GIL, and the counters
+    are diagnostics, not control flow)."""
+
+    __slots__ = (
+        "regions_compiled", "regions_loaded", "region_replays",
+        "fused_ops", "guard_misses", "fallback_breaks",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.regions_compiled = 0
+        self.regions_loaded = 0
+        self.region_replays = 0
+        self.fused_ops = 0
+        self.guard_misses = 0
+        self.fallback_breaks = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+STATS = FuseStats()
+
+
+# ---------------------------------------------------------------------------
+# Region IR
+#
+# Operand descriptors — each op in a region names its operands as:
+#   ("T", i)   the result of region op i (guarded by identity)
+#   ("E", s)   external array slot s (dtype/shape guarded at first
+#              bind, identity-guarded on reuse — the aliasing guard)
+#   ("C", c)   scalar constant c (guarded by type and value)
+#   ("V", v)   varying scalar slot v (guarded by type, value bound at
+#              the introducing op — loop-carried alphas/betas)
+#
+# An op *introduces* every E/V slot it uses first; introducing ops
+# start a new segment, because only then is the operand available.
+
+
+class RegionOp:
+    __slots__ = (
+        "ufunc", "descs", "result_dtype", "result_shape", "delta",
+        "seg_start", "shadow_raw",
+    )
+
+    def __init__(self, ufunc, descs, result_dtype, result_shape, delta):
+        self.ufunc = ufunc
+        self.descs = descs
+        self.result_dtype = result_dtype
+        self.result_shape = result_shape
+        #: precomputed (opkey, n, bytes_read, bytes_written, casts) for
+        #: Profile.record_op_keyed — a pure function of the guarded
+        #: dtypes/shapes, so applying it at hand-out reproduces the
+        #: interpreted counters exactly.
+        self.delta = delta
+        self.seg_start = False
+        #: shadow mode: raw input dtypes for the reference recording
+        self.shadow_raw = None
+
+
+class Region:
+    """One compiled straight-line region."""
+
+    __slots__ = (
+        "mode", "ops", "ext_sigs", "consts", "var_types", "segments",
+        "digest", "source", "n_shadow", "ext_guards", "penalty",
+    )
+
+    def __init__(self, mode, ops, ext_sigs, consts, var_types, n_shadow=0):
+        self.mode = mode
+        self.ops = ops
+        self.ext_sigs = ext_sigs
+        self.consts = consts
+        self.var_types = var_types
+        self.n_shadow = n_shadow
+        #: list of (first_op_index, last_op_index_exclusive, callable)
+        self.segments: list[tuple[int, int, Any]] = []
+        self.digest = ""
+        self.source = ""
+        #: guard tuples with materialised dtypes, one per ext slot
+        self.ext_guards: list[tuple] = []
+        #: consecutive mid-region guard misses; a region that keeps
+        #: diverging (data-dependent control flow) stops being tried
+        self.penalty = 0
+
+
+def _mark_segments(ops) -> list[tuple[int, int]]:
+    """Split ops into segments at each op that introduces a new
+    external or varying-scalar slot."""
+    seen_e: set[int] = set()
+    seen_v: set[int] = set()
+    starts = []
+    for i, op in enumerate(ops):
+        introduces = i == 0
+        for kind, idx in op.descs:
+            if kind == "E" and idx not in seen_e:
+                seen_e.add(idx)
+                introduces = True
+            elif kind == "V" and idx not in seen_v:
+                seen_v.add(idx)
+                introduces = True
+        if introduces:
+            starts.append(i)
+            op.seg_start = True
+    spans = []
+    for j, start in enumerate(starts):
+        end = starts[j + 1] if j + 1 < len(starts) else len(ops)
+        spans.append((start, end))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Serialization (disk cache)
+
+_IR_SCHEMA = "mixpbench/fuse-region/v1"
+
+
+def _const_to_json(value):
+    if isinstance(value, np.generic):
+        return {"np": value.dtype.str, "hex": float(value).hex()}
+    if isinstance(value, float):
+        return {"f": value.hex()}
+    if isinstance(value, bool):
+        return {"b": value}
+    return {"i": int(value)}
+
+
+def _const_from_json(obj):
+    if "np" in obj:
+        return np.dtype(obj["np"]).type(float.fromhex(obj["hex"]))
+    if "f" in obj:
+        return float.fromhex(obj["f"])
+    if "b" in obj:
+        return bool(obj["b"])
+    return int(obj["i"])
+
+
+def _vartype_tag(value) -> str:
+    if isinstance(value, np.generic):
+        return "np:" + value.dtype.str
+    if isinstance(value, bool):
+        return "py:bool"
+    if isinstance(value, float):
+        return "py:float"
+    return "py:int"
+
+
+def _vartype_matches(tag: str, value) -> bool:
+    if tag.startswith("np:"):
+        return isinstance(value, np.generic) and value.dtype.str == tag[3:]
+    if tag == "py:float":
+        return type(value) is float
+    if tag == "py:bool":
+        return type(value) is bool
+    return type(value) is int
+
+
+def _region_ir(region: Region) -> dict:
+    ops = []
+    for op in region.ops:
+        ops.append({
+            "ufunc": op.ufunc.__name__,
+            "descs": [list(d) for d in op.descs],
+            "dtype": np.dtype(op.result_dtype).str,
+            "shape": list(op.result_shape),
+            "delta": [
+                [op.delta[0][0].value, op.delta[0][1]],
+                op.delta[1], op.delta[2], op.delta[3], op.delta[4],
+            ],
+            "shadow_raw": (
+                None if op.shadow_raw is None
+                else [None if d is None else np.dtype(d).str for d in op.shadow_raw]
+            ),
+        })
+    return {
+        "schema": _IR_SCHEMA,
+        "mode": list(region.mode) if isinstance(region.mode, tuple) else region.mode,
+        "n_shadow": region.n_shadow,
+        "ops": ops,
+        "ext_sigs": [
+            [sig[0], sig[1], list(sig[2])]
+            + ([list(sig[3])] if len(sig) > 3 else [])
+            for sig in region.ext_sigs
+        ],
+        "consts": [_const_to_json(c) for c in region.consts],
+        "var_types": list(region.var_types),
+    }
+
+
+def _region_digest(ir: dict) -> str:
+    blob = json.dumps(ir, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def _region_from_ir(ir: dict) -> Region | None:
+    from repro.runtime.profiler import OpClass
+
+    if ir.get("schema") != _IR_SCHEMA:
+        return None
+    mode = ir["mode"]
+    if isinstance(mode, list):
+        mode = tuple(mode)
+    ops = []
+    for entry in ir["ops"]:
+        ufunc = getattr(np, entry["ufunc"], None)
+        if not isinstance(ufunc, np.ufunc):
+            return None
+        dcls, ddt, n, br, bw, casts = (
+            entry["delta"][0][0], entry["delta"][0][1],
+            entry["delta"][1], entry["delta"][2], entry["delta"][3],
+            entry["delta"][4],
+        )
+        delta = ((OpClass(dcls), ddt), n, br, bw, casts)
+        op = RegionOp(
+            ufunc,
+            tuple((d[0], d[1]) for d in entry["descs"]),
+            np.dtype(entry["dtype"]),
+            tuple(entry["shape"]),
+            delta,
+        )
+        if entry.get("shadow_raw") is not None:
+            op.shadow_raw = tuple(
+                None if d is None else np.dtype(d) for d in entry["shadow_raw"]
+            )
+        ops.append(op)
+    ext_sigs = []
+    for sig in ir["ext_sigs"]:
+        if len(sig) > 3:
+            ext_sigs.append(
+                (sig[0], sig[1], tuple(sig[2]), tuple(sig[3]))
+            )
+        else:
+            ext_sigs.append((sig[0], sig[1], tuple(sig[2])))
+    region = Region(
+        mode, ops, ext_sigs,
+        [_const_from_json(c) for c in ir["consts"]],
+        list(ir["var_types"]), ir.get("n_shadow", 0),
+    )
+    return region
+
+
+# ---------------------------------------------------------------------------
+# Codegen
+#
+# One generated module per region holds one function per segment.  The
+# op stream is emitted verbatim — same ufunc, same operand order — so
+# the segment computes exactly the values the interpreted path would.
+
+
+def _operand_expr(desc, seg_start):
+    kind, idx = desc
+    if kind == "T":
+        return f"t{idx}" if idx >= seg_start else f"T[{idx}]"
+    if kind == "E":
+        return f"E[{idx}]"
+    if kind == "C":
+        return f"C{idx}"
+    return f"V[{idx}]"
+
+
+def _codegen_plain(region: Region, spans) -> str:
+    lines = []
+    for seg_index, (start, end) in enumerate(spans):
+        lines.append(f"def _segment_{seg_index}(E, V, T):")
+        for i in range(start, end):
+            op = region.ops[i]
+            args = ", ".join(_operand_expr(d, start) for d in op.descs)
+            lines.append(f"    t{i} = U{i}({args})")
+            lines.append(f"    T[{i}] = t{i}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _shadow_ref_expr(desc, region, seg_start):
+    kind, idx = desc
+    if kind == "T":
+        return f"t{idx}" if idx >= seg_start else f"T[{idx}]"
+    if kind == "E":
+        if region.ext_sigs[idx][0] == "w":
+            return f"EW[{idx}]._data"
+        return f"ER[{idx}][0]"
+    if kind == "C":
+        return f"C{idx}"
+    return f"V[{idx}][0]"
+
+
+def _shadow_k_expr(desc, region, seg_start, k):
+    kind, idx = desc
+    if kind == "T":
+        # chain the *stored* shadow (asarray'd for 0-d results), which
+        # is exactly what the handed-out wrapper's _shadows[k] holds
+        op = region.ops[idx]
+        name = f"sa{idx}_{k}" if op.result_shape == () else f"s{idx}_{k}"
+        return name if idx >= seg_start else f"S[{idx}][{k}]"
+    if kind == "E":
+        if region.ext_sigs[idx][0] == "w":
+            return f"EW[{idx}]._shadows[{k}]"
+        return f"ER[{idx}][{k + 1}]"
+    if kind == "C":
+        const = region.consts[idx]
+        if isinstance(const, np.floating):
+            return f"C{idx}_{k}"
+        return f"C{idx}"
+    return f"V[{idx}][{k + 1}]"
+
+
+def _codegen_shadow(region: Region, spans) -> str:
+    n = region.n_shadow
+    lines = []
+    for seg_index, (start, end) in enumerate(spans):
+        lines.append(f"def _segment_{seg_index}(cb, EW, ER, V, T, S):")
+        for i in range(start, end):
+            op = region.ops[i]
+            args = ", ".join(_shadow_ref_expr(d, region, start) for d in op.descs)
+            call = f"U{i}({args})"
+            if op.result_shape == ():
+                call = f"_A({call})"
+            lines.append(f"    t{i} = {call}")
+            lines.append(f"    T[{i}] = t{i}")
+        lines.append('    with ERR(all="ignore"):')
+        for i in range(start, end):
+            op = region.ops[i]
+            for k in range(n):
+                args = ", ".join(
+                    _shadow_k_expr(d, region, start, k) for d in op.descs
+                )
+                lines.append(f"        s{i}_{k} = cb(U{i}({args}), {k})")
+                if op.result_shape == ():
+                    lines.append(f"        sa{i}_{k} = _A(s{i}_{k})")
+        for i in range(start, end):
+            names = ", ".join(f"s{i}_{k}" for k in range(n))
+            comma = "," if n == 1 else ""
+            lines.append(f"    S[{i}] = [{names}{comma}]" if n else f"    S[{i}] = []")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# -- optional numba tier -----------------------------------------------------
+
+#: ufuncs whose elementwise scalar translation is IEEE-exact in both
+#: NumPy and compiled code (no libm-approximated transcendentals, no
+#: NaN-sensitive selections)
+_NUMBA_EXACT = {"add", "subtract", "multiply", "true_divide", "divide",
+                "negative", "absolute", "sqrt"}
+_NUMBA_SYMBOL = {
+    "add": "({0} + {1})", "subtract": "({0} - {1})",
+    "multiply": "({0} * {1})", "true_divide": "({0} / {1})",
+    "divide": "({0} / {1})", "negative": "(-{0})",
+    "absolute": "abs({0})", "sqrt": "np.sqrt({0})",
+}
+_numba_njit = None
+_numba_probed = False
+
+
+def _numba_available() -> bool:
+    global _numba_njit, _numba_probed
+    if not _numba_probed:
+        _numba_probed = True
+        if _env_enabled("MIXPBENCH_FUSE_NUMBA", False):
+            try:
+                from numba import njit  # type: ignore[import-not-found]
+                _numba_njit = njit
+            except Exception:
+                _numba_njit = None
+    return _numba_njit is not None
+
+
+def _numba_eligible(region: Region, spans, span) -> bool:
+    """A segment qualifies for the njit tier when every op is
+    IEEE-exact and every array operand/result shares one float dtype
+    and one shape (scalars are pre-cast to that dtype, so compiled
+    promotion matches NEP-50 exactly)."""
+    start, end = span
+    dtype = region.ops[start].result_dtype
+    if dtype.kind != "f" or dtype.itemsize not in (4, 8):
+        return False
+    shape = region.ops[start].result_shape
+    if shape == () or any(s == 0 for s in shape):
+        return False
+    for i in range(start, end):
+        op = region.ops[i]
+        if op.ufunc.__name__ not in _NUMBA_EXACT:
+            return False
+        if op.result_dtype != dtype or op.result_shape != shape:
+            return False
+        for kind, idx in op.descs:
+            if kind == "E":
+                sig = region.ext_sigs[idx]
+                if np.dtype(sig[1]) != dtype or tuple(sig[2]) != shape:
+                    return False
+            elif kind == "T":
+                if idx < start:  # cross-segment temps stay in Python
+                    return False
+                ref = region.ops[idx]
+                if ref.result_dtype != dtype or ref.result_shape != shape:
+                    return False
+            elif kind == "C":
+                const = region.consts[idx]
+                if isinstance(const, np.generic) and const.dtype != dtype:
+                    return False
+                if not isinstance(const, (float, int, np.floating)):
+                    return False
+            else:
+                tag = region.var_types[idx]
+                if tag not in ("py:float", "py:int", "np:" + dtype.str):
+                    return False
+    return True
+
+
+def _codegen_numba_segment(region: Region, span) -> str:
+    """Scalar-loop source for one eligible segment: all arrays flat,
+    same length, one fused loop — the op order inside an iteration is
+    the recorded order, so per-element results are bit-identical."""
+    start, end = span
+    ext_used = sorted({
+        idx for i in range(start, end)
+        for kind, idx in region.ops[i].descs if kind == "E"
+    })
+    var_used = sorted({
+        idx for i in range(start, end)
+        for kind, idx in region.ops[i].descs if kind == "V"
+    })
+    args = (
+        [f"e{s}" for s in ext_used] + [f"v{s}" for s in var_used]
+        + [f"o{i}" for i in range(start, end)]
+    )
+    lines = [f"def _nb(" + ", ".join(args) + "):"]
+    lines.append("    for _i in range(o%d.shape[0]):" % start)
+    for i in range(start, end):
+        op = region.ops[i]
+        exprs = []
+        for kind, idx in op.descs:
+            if kind == "T":  # eligibility guarantees idx >= start
+                exprs.append(f"x{idx}")
+            elif kind == "E":
+                exprs.append(f"e{idx}[_i]")
+            elif kind == "C":
+                exprs.append(f"C{idx}")
+            else:
+                exprs.append(f"v{idx}")
+        body = _NUMBA_SYMBOL[op.ufunc.__name__].format(*exprs)
+        lines.append(f"        x{i} = {body}")
+        lines.append(f"        o{i}[_i] = x{i}")
+    return "\n".join(lines) + "\n"
+
+
+class _NumbaSegment:
+    """Runtime wrapper: try the jitted loop on contiguous operands,
+    fall back permanently to the generated-Python segment on any
+    compile or execution failure."""
+
+    __slots__ = ("_python", "_region", "_span", "_jit", "_dead", "_lock")
+
+    def __init__(self, python_fn, region, span):
+        self._python = python_fn
+        self._region = region
+        self._span = span
+        self._jit = None
+        self._dead = False
+        self._lock = threading.Lock()
+
+    def __call__(self, E, V, T):
+        region, (start, end) = self._region, self._span
+        if self._dead:
+            return self._python(E, V, T)
+        try:
+            jit = self._jit
+            if jit is None:
+                jit = self._compile()
+            dtype = region.ops[start].result_dtype
+            shape = region.ops[start].result_shape
+            ext_used = sorted({
+                idx for i in range(start, end)
+                for kind, idx in region.ops[i].descs if kind == "E"
+            })
+            var_used = sorted({
+                idx for i in range(start, end)
+                for kind, idx in region.ops[i].descs if kind == "V"
+            })
+            flats = []
+            for s in ext_used:
+                arr = E[s]
+                if not arr.flags.c_contiguous:
+                    return self._python(E, V, T)
+                flats.append(arr.reshape(-1))
+            scalars = [dtype.type(V[s]) for s in var_used]
+            outs = [np.empty(shape, dtype=dtype) for _ in range(start, end)]
+            jit(*flats, *scalars, *[o.reshape(-1) for o in outs])
+            for offset, out in enumerate(outs):
+                T[start + offset] = out
+            return None
+        except Exception:
+            self._dead = True
+            return self._python(E, V, T)
+
+    def _compile(self):
+        with self._lock:
+            if self._jit is None:
+                region, span = self._region, self._span
+                dtype = region.ops[span[0]].result_dtype
+                source = _codegen_numba_segment(region, span)
+                namespace: dict[str, Any] = {"np": np}
+                for ci, const in enumerate(region.consts):
+                    namespace[f"C{ci}"] = dtype.type(const)
+                exec(compile(source, "<fuse-numba>", "exec"), namespace)
+                self._jit = _numba_njit(cache=False)(namespace["_nb"])
+        return self._jit
+
+
+def _compile_region(region: Region) -> None:
+    """Generate, compile and bind the segment callables."""
+    spans = _mark_segments(region.ops)
+    shadow = region.mode != "plain"
+    source = (
+        _codegen_shadow(region, spans) if shadow
+        else _codegen_plain(region, spans)
+    )
+    namespace: dict[str, Any] = {"np": np, "_A": np.asarray, "ERR": np.errstate}
+    for i, op in enumerate(region.ops):
+        namespace[f"U{i}"] = op.ufunc
+    for ci, const in enumerate(region.consts):
+        namespace[f"C{ci}"] = const
+        if shadow and isinstance(const, np.floating):
+            for k in range(region.n_shadow):
+                sdt = np.dtype(region.mode[1 + k])
+                namespace[f"C{ci}_{k}"] = sdt.type(const)
+    code = compile(source, f"<fuse-region-{region.digest or 'new'}>", "exec")
+    exec(code, namespace)
+    region.source = source
+    region.ext_guards = []
+    for sig in region.ext_sigs:
+        if len(sig) > 3:
+            region.ext_guards.append((
+                sig[0], np.dtype(sig[1]), tuple(sig[2]),
+                tuple(np.dtype(s) for s in sig[3]),
+            ))
+        else:
+            region.ext_guards.append((sig[0], np.dtype(sig[1]), tuple(sig[2])))
+    region.segments = []
+    use_numba = not shadow and _numba_available()
+    for seg_index, span in enumerate(spans):
+        fn = namespace[f"_segment_{seg_index}"]
+        if use_numba and _numba_eligible(region, spans, span):
+            fn = _NumbaSegment(fn, region, span)
+        region.segments.append((span[0], span[1], fn))
+
+
+# ---------------------------------------------------------------------------
+# Registry: promoted regions, shared per process, optional disk cache
+
+
+class _Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: mode key -> ufunc -> [Region] (probed lock-free: dict/list
+        #: reads are single atomic ops under the GIL; mutation happens
+        #: under the lock and only ever appends)
+        self._heads: dict[Any, dict[Any, list[Region]]] = {}
+        self._digests: set[str] = set()
+        #: chain keys whose second sighting already ran the builder —
+        #: unworthy, uncompilable, or compiled (possibly via another
+        #: key); never worth re-attempting, re-learning is pure overhead
+        self._settled: set[Any] = set()
+        #: chain-key -> first sighting's per-op operand values
+        self._pending: dict[Any, list] = {}
+        self._region_count = 0
+        self._cache_dir: Path | None = None
+        self._cache_loaded = False
+        #: learning-cooldown state, independent per mode key (plain
+        #: and each shadow dtype configuration): the epoch bumps on
+        #: progress (a novel pending chain or a compiled region);
+        #: tracers created while it stands still count toward the
+        #: cooldown.  Per-mode matters: a long plain search must not
+        #: cool down learning for the first shadow analysis that
+        #: follows it in the same process.
+        self._epoch: dict[Any, int] = {}
+        #: mode key -> [epoch last seen, idle tracers, tracers created]
+        self._cooldown: dict[Any, list] = {}
+
+    def learning_active(self, mode_key) -> bool:
+        """Whether a newly-built tracer for ``mode_key`` should record
+        chains.  True until ``_IDLE_TRACERS`` consecutive tracers of
+        that mode have come and gone without any registry progress for
+        it; after that, only every ``_PROBE_INTERVAL``-th tracer
+        learns, so a genuinely new op stream can still re-arm learning
+        for everyone."""
+        with self._lock:
+            state = self._cooldown.get(mode_key)
+            if state is None:
+                state = self._cooldown[mode_key] = [0, 0, 0]
+            state[2] += 1
+            epoch = self._epoch.get(mode_key, 0)
+            if epoch != state[0]:
+                state[0] = epoch
+                state[1] = 0
+                return True
+            state[1] += 1
+            if state[1] <= _IDLE_TRACERS:
+                return True
+            return state[2] % _PROBE_INTERVAL == 0
+
+    def heads_for(self, mode_key) -> dict:
+        heads = self._heads.get(mode_key)
+        if heads is None:
+            with self._lock:
+                heads = self._heads.setdefault(mode_key, {})
+        if not self._cache_loaded and self._cache_dir is not None:
+            self._load_cache()
+        return heads
+
+    def set_cache_dir(self, path) -> None:
+        with self._lock:
+            self._cache_dir = Path(path) if path is not None else None
+            self._cache_loaded = False
+
+    def _load_cache(self) -> None:
+        with self._lock:
+            if self._cache_loaded or self._cache_dir is None:
+                return
+            self._cache_loaded = True
+            directory = self._cache_dir
+        try:
+            files = sorted(directory.glob("*.json"))
+        except OSError:
+            return
+        for path in files:
+            try:
+                ir = json.loads(path.read_text())
+                region = _region_from_ir(ir)
+                if region is None:
+                    continue
+                region.digest = _region_digest(ir)
+                _compile_region(region)
+            except Exception:
+                continue  # a stale/corrupt cache entry is never fatal
+            if self._install(region):
+                STATS.regions_loaded += 1
+
+    def _install(self, region: Region) -> bool:
+        with self._lock:
+            if region.digest in self._digests or self._region_count >= _MAX_REGIONS:
+                return False
+            self._digests.add(region.digest)
+            self._region_count += 1
+            mode_key = region.mode
+            # progress: re-arm this mode's learning cooldown
+            self._epoch[mode_key] = self._epoch.get(mode_key, 0) + 1
+            heads = self._heads.setdefault(mode_key, {})
+            head_ufunc = region.ops[0].ufunc
+            heads.setdefault(head_ufunc, []).append(region)
+        return True
+
+    def _store_cache(self, region: Region, ir: dict) -> None:
+        directory = self._cache_dir
+        if directory is None:
+            return
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{region.digest}.json"
+            if path.exists():
+                return
+            payload = dict(ir)
+            payload["source"] = region.source
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            tmp.replace(path)
+        except OSError:
+            pass  # disk cache is best-effort
+
+    def offer_chain(self, chain_key, values, build) -> None:
+        """Second identical sighting of a chain promotes it: ``values``
+        carries the sighting's per-op scalar operands so stable ones
+        become guarded constants and varying ones parameter slots."""
+        with self._lock:
+            if self._region_count >= _MAX_REGIONS or chain_key in self._settled:
+                return
+            first = self._pending.get(chain_key)
+            if first is None:
+                if len(self._pending) >= _MAX_PENDING:
+                    self._pending.pop(next(iter(self._pending)))
+                self._pending[chain_key] = values
+                # a novel chain: keep this mode learning
+                mode = chain_key[0]
+                self._epoch[mode] = self._epoch.get(mode, 0) + 1
+                return
+            self._pending.pop(chain_key, None)
+        region = build(first, values)
+        # Whatever happens from here the chain key is *settled*:
+        # unworthy, uncompilable, a duplicate of an installed region,
+        # or freshly installed — in every case re-learning this exact
+        # chain can teach us nothing (and would keep bumping the
+        # learning-cooldown epoch forever via the pending dance).
+        self._settle(chain_key)
+        if region is None:
+            return
+        ir = _region_ir(region)
+        region.digest = _region_digest(ir)
+        with self._lock:
+            if region.digest in self._digests:
+                return  # already promoted via another chain key
+        try:
+            _compile_region(region)
+        except Exception:
+            return  # unsupported shape of chain: never fatal
+        if self._install(region):
+            STATS.regions_compiled += 1
+            self._store_cache(region, ir)
+
+    def _settle(self, chain_key) -> None:
+        with self._lock:
+            if len(self._settled) >= _MAX_PENDING:
+                self._settled.clear()
+            self._settled.add(chain_key)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "regions": self._region_count,
+                "pending_chains": len(self._pending),
+                "learning": {
+                    str(mode): state[1] <= _IDLE_TRACERS
+                    for mode, state in self._cooldown.items()
+                },
+                "modes": {
+                    str(mode): sum(len(v) for v in heads.values())
+                    for mode, heads in self._heads.items()
+                },
+            }
+
+
+_REGISTRY = _Registry()
+
+
+def set_fuse_cache_dir(path) -> None:
+    """Point the compiled-region disk cache at ``path`` (``None``
+    disables).  The service scheduler shares one directory across
+    shards so every worker reuses every other worker's regions."""
+    _REGISTRY.set_cache_dir(path)
+
+
+def registry_snapshot() -> dict:
+    return _REGISTRY.snapshot()
+
+
+def reset_registry() -> None:
+    """Drop every promoted region and pending chain (tests)."""
+    global _REGISTRY
+    _REGISTRY = _Registry()
+    env_dir = os.environ.get("MIXPBENCH_FUSE_CACHE")
+    if env_dir:
+        _REGISTRY.set_cache_dir(env_dir)
+
+
+if os.environ.get("MIXPBENCH_FUSE_CACHE"):
+    _REGISTRY.set_cache_dir(os.environ["MIXPBENCH_FUSE_CACHE"])
+
+
+# ---------------------------------------------------------------------------
+# Per-op profile delta
+#
+# Each region op carries the exact (opkey, n, bytes_read, bytes_written,
+# casts) tuple the interpreted recorder would pass to
+# ``Profile.record_op_keyed`` — a pure function of the guarded
+# dtypes/shapes, computed once at learning time from the same recipe
+# table the interpreter uses.
+
+
+def _call_delta(ufunc, raw_operands, raw_result):
+    """The fast-recorder numbers for one no-kwargs ``__call__``, or
+    ``None`` when the signature isn't a plain elementwise call."""
+    from repro.runtime import mparray as _mp
+
+    if isinstance(raw_result, np.ndarray):
+        result_dtype = raw_result.dtype
+        result_size = raw_result.size
+        bytes_written = float(raw_result.nbytes)
+    elif isinstance(raw_result, np.generic):
+        result_dtype = raw_result.dtype
+        result_size = 1
+        bytes_written = float(result_dtype.itemsize)
+    else:
+        return None
+    bytes_read = 0.0
+    max_input = 1
+    dts = []
+    for x in raw_operands:
+        if isinstance(x, np.ndarray):
+            dts.append(x.dtype)
+            bytes_read += x.nbytes
+            if x.size > max_input:
+                max_input = x.size
+        else:
+            dts.append(None)
+    key = (ufunc, "__call__", result_dtype, *dts)
+    recipe = _mp._RECIPES.get(key)
+    if recipe is None:
+        recipe = _mp._build_ufunc_recipe(ufunc, "__call__", result_dtype, tuple(dts))
+    opkey, cast_slots, mode, _first = recipe
+    if mode != _mp._MODE_CALL:
+        return None
+    n = float(result_size if result_size > max_input else max_input)
+    casts = 0.0
+    for slot in cast_slots:
+        casts += raw_operands[slot].size
+    return (opkey, n, float(bytes_read), bytes_written, casts)
+
+
+def _scalar_equal(v1, v2) -> bool:
+    if type(v1) is not type(v2):
+        return False
+    try:
+        return bool(v1 == v2)  # NaN != NaN -> becomes a varying slot
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Matching + learning
+
+
+#: consecutive mid-region guard misses after which a region stops being
+#: tried — a region whose trace keeps diverging (data-dependent control
+#: flow) would otherwise pay speculative execution every iteration
+_PENALTY_LIMIT = 8
+
+
+class _Match:
+    """One in-flight activation of a region: bound operand slots plus
+    the segment-computed results awaiting hand-out.  Holds strong
+    references, so an in-flight temporary can never be collected (or
+    have its buffer reused) before it is handed out."""
+
+    __slots__ = ("region", "pos", "next_seg", "E", "ER", "V", "T", "S", "W")
+
+    def __init__(self, region: Region):
+        self.region = region
+        self.pos = 0
+        self.next_seg = 0
+        self.E: list = [None] * len(region.ext_sigs)
+        self.ER: list = [None] * len(region.ext_sigs)
+        self.V: list = [None] * len(region.var_types)
+        self.T: list = [None] * len(region.ops)
+        self.S: list = [None] * len(region.ops)
+        self.W: list = [None] * len(region.ops)
+
+
+class FuseTracer:
+    """Per-workspace trace recorder and region matcher (plain mode).
+
+    The hot-path contract with ``mparray``'s operator closures:
+
+    * ``offer2``/``offer1`` are called *before* a no-kwargs ``__call__``
+      executes.  A non-``None`` return is the op's raw result (already
+      profiled); the caller wraps and returns it without executing.
+      ``None`` means "run the interpreted path" — and guarantees no
+      match is active, so the closure's refcount-based reuse tests see
+      exactly the frame they were calibrated for.
+    * ``note2``/``note1`` are called after the interpreted execution
+      with the raw operands and result; they drive chain learning and
+      hold only weak references, so learning never perturbs refcounts.
+    * ``foreign`` is called by every mutation path (stores, fills,
+      ``out=``, ``ufunc.at``, declarations).  It discards any pending
+      region results before the mutation happens, which is the whole
+      aliasing story: a buffer can never change between segment
+      execution and hand-out.
+
+    Pure derived reads (basic indexing, reductions, ``astype``/``copy``,
+    ``np.dot``-style functions) are *transparent*: they neither advance
+    nor break anything, and their results re-enter a chain as fresh
+    external slots.
+    """
+
+    mode_key: Any = "plain"
+    _min_ops = _MIN_OPS_PLAIN
+
+    __slots__ = (
+        "_profile", "_heads", "_active", "_learning",
+        "_chain", "_values", "_key",
+        "_temp_ids", "_temp_refs", "_ext_ids", "_ext_refs", "_ext_sigs",
+    )
+
+    def __init__(self, profile):
+        self._profile = profile
+        self._heads = _REGISTRY.heads_for(self.mode_key)
+        self._active: _Match | None = None
+        self._learning = _REGISTRY.learning_active(self.mode_key)
+        self._reset_learning()
+
+    def _reset_learning(self) -> None:
+        self._chain: list = []
+        self._values: list = []
+        self._key: list = []
+        self._temp_ids: dict[int, int] = {}
+        self._temp_refs: list = []
+        self._ext_ids: dict[int, int] = {}
+        self._ext_refs: list = []
+        self._ext_sigs: list = []
+
+    # -- matching (hot path) ------------------------------------------------
+
+    def offer2(self, ufunc, x0, x1):
+        m = self._active
+        if m is not None:
+            return self._advance(m, ufunc, (x0, x1))
+        regions = self._heads.get(ufunc)
+        if regions is not None:
+            return self._try_start(regions, ufunc, (x0, x1))
+        return None
+
+    def offer1(self, ufunc, x0):
+        m = self._active
+        if m is not None:
+            return self._advance(m, ufunc, (x0,))
+        regions = self._heads.get(ufunc)
+        if regions is not None:
+            return self._try_start(regions, ufunc, (x0,))
+        return None
+
+    def _try_start(self, regions, ufunc, operands):
+        for region in regions:
+            if region.penalty >= _PENALTY_LIMIT:
+                continue
+            if not self._prestart(region, operands):
+                continue  # cheap reject before any _Match allocation
+            m = _Match(region)
+            if not self._match_op(m, region, 0, operands):
+                continue
+            if not self._run_segment(m):
+                region.penalty += 1
+                STATS.guard_misses += 1
+                continue
+            STATS.region_replays += 1
+            return self._handout(m, operands)
+        return None
+
+    def _advance(self, m, ufunc, operands):
+        region = m.region
+        pos = m.pos
+        op = region.ops[pos]
+        if ufunc is op.ufunc and self._match_op(m, region, pos, operands):
+            if op.seg_start and not self._run_segment(m):
+                self._discard(region)
+                return self._reprobe(ufunc, operands)
+            return self._handout(m, operands)
+        self._discard(region)
+        return self._reprobe(ufunc, operands)
+
+    def _discard(self, region):
+        self._active = None
+        region.penalty += 1
+        STATS.guard_misses += 1
+
+    def _reprobe(self, ufunc, operands):
+        regions = self._heads.get(ufunc)
+        if regions is not None:
+            return self._try_start(regions, ufunc, operands)
+        return None
+
+    def _prestart(self, region, operands):
+        """Guard pre-filter for an op-0 match, run before allocating a
+        :class:`_Match`: every region whose head ufunc is hot pays this
+        on *each* occurrence of that ufunc, so it must stay allocation-
+        free.  Only value guards are checked (op 0 cannot reference a
+        temp, and aliasing binds are re-checked by ``_match_op``)."""
+        descs = region.ops[0].descs
+        if len(descs) != len(operands):
+            return False
+        for desc, x in zip(descs, operands):
+            kind = desc[0]
+            if kind == "E":
+                guard = region.ext_guards[desc[1]]
+                if (
+                    type(x) is not np.ndarray
+                    or x.dtype != guard[1]
+                    or x.shape != guard[2]
+                ):
+                    return False
+            elif kind == "C":
+                if not _scalar_equal(x, region.consts[desc[1]]):
+                    return False
+            elif kind == "V":
+                if not _vartype_matches(region.var_types[desc[1]], x):
+                    return False
+        return True
+
+    def _match_op(self, m, region, pos, operands):
+        op = region.ops[pos]
+        descs = op.descs
+        if len(descs) != len(operands):
+            return False
+        for desc, x in zip(descs, operands):
+            kind = desc[0]
+            idx = desc[1]
+            if kind == "T":
+                if x is not m.T[idx]:
+                    return False
+            elif kind == "E":
+                bound = m.E[idx]
+                if bound is not None:
+                    if x is not bound:  # the aliasing/identity guard
+                        return False
+                elif not self._bind_ext(m, region, idx, x):
+                    return False
+            elif kind == "C":
+                if not _scalar_equal(x, region.consts[idx]):
+                    return False
+            else:  # V
+                if m.V[idx] is None:
+                    if not _vartype_matches(region.var_types[idx], x):
+                        return False
+                    self._bind_var(m, idx, x)
+                elif x is not m.V[idx] and not _scalar_equal(x, m.V[idx]):
+                    return False
+        return True
+
+    def _bind_ext(self, m, region, idx, x) -> bool:
+        guard = region.ext_guards[idx]
+        if (
+            type(x) is np.ndarray
+            and x.dtype == guard[1]
+            and x.shape == guard[2]
+        ):
+            m.E[idx] = x
+            return True
+        return False
+
+    def _bind_var(self, m, idx, x) -> None:
+        m.V[idx] = x
+
+    def _run_segment(self, m) -> bool:
+        start, end, fn = m.region.segments[m.next_seg]
+        m.next_seg += 1
+        try:
+            fn(m.E, m.V, m.T)
+        except Exception:
+            return False
+        return True
+
+    def _handout(self, m, operands):
+        pos = m.pos
+        region = m.region
+        d = region.ops[pos].delta
+        self._profile.record_op_keyed(d[0], d[1], d[2], d[3], d[4])
+        STATS.fused_ops += 1
+        result = m.T[pos]
+        pos += 1
+        if pos == len(region.ops):
+            # Decay rather than reset: a region that breaks more often
+            # than it completes (a prefix-collision with a shorter true
+            # sequence wastes a segment execution per break) drifts to
+            # the retire limit, while mostly-completing regions pin at 0.
+            if region.penalty:
+                region.penalty -= 1
+            self._active = None  # completed: release the temp refs
+        else:
+            m.pos = pos
+            self._active = m
+        return result
+
+    # -- learning ------------------------------------------------------------
+
+    def note2(self, ufunc, x0, x1, result):
+        if not self._learning:
+            return
+        if not (type(result) is np.ndarray and result.ndim):
+            self._finish_chain()
+            return
+        d0 = self._learn_operand(x0)
+        if d0 is None:
+            self._finish_chain()
+            return
+        d1 = self._learn_operand(x1)
+        if d1 is None:
+            self._finish_chain()
+            return
+        self._push(ufunc, (d0, d1), (x0, x1), result, result)
+
+    def note1(self, ufunc, x0, result):
+        if not self._learning:
+            return
+        if not (type(result) is np.ndarray and result.ndim):
+            self._finish_chain()
+            return
+        d0 = self._learn_operand(x0)
+        if d0 is None:
+            self._finish_chain()
+            return
+        self._push(ufunc, (d0,), (x0,), result, result)
+
+    def _learn_operand(self, x):
+        if type(x) is np.ndarray:
+            if x.ndim == 0:
+                return None
+            key = id(x)
+            idx = self._temp_ids.get(key)
+            if idx is not None and self._temp_refs[idx]() is x:
+                return ("T", idx)
+            slot = self._ext_ids.get(key)
+            if slot is not None and self._ext_refs[slot]() is x:
+                return ("E", slot)
+            slot = len(self._ext_sigs)
+            self._ext_ids[key] = slot
+            self._ext_refs.append(weakref.ref(x))
+            self._ext_sigs.append(("a", x.dtype.str, x.shape))
+            return ("E", slot)
+        t = type(x)
+        if t is float or t is bool or t is int:
+            return ("S", x)
+        if isinstance(x, np.generic) and x.dtype.kind in "fiub":
+            return ("S", x)
+        return None
+
+    def _remember_result(self, i, result) -> None:
+        self._temp_ids[id(result)] = i
+        self._temp_refs.append(weakref.ref(result))
+
+    def _push(self, ufunc, descs, raw_operands, raw_result, result):
+        delta = _call_delta(ufunc, raw_operands, raw_result)
+        if delta is None:
+            self._finish_chain()
+            return
+        i = len(self._chain)
+        vals: list = []
+        key_descs = []
+        norm = []
+        for d in descs:
+            if d[0] == "S":
+                key_descs.append(("S", _vartype_tag(d[1])))
+                norm.append(("S", len(vals)))
+                vals.append(d[1])
+            elif d[0] == "E":
+                sig = self._ext_sigs[d[1]]
+                key_descs.append(("E", d[1]) + sig[1:])
+                norm.append(d)
+            else:
+                key_descs.append(d)
+                norm.append(d)
+        rdtype = raw_result.dtype
+        rshape = tuple(np.shape(raw_result))
+        self._chain.append((ufunc, tuple(norm), rdtype, rshape, delta))
+        self._values.append(tuple(vals))
+        self._key.append((ufunc, tuple(key_descs), rdtype.str, rshape))
+        self._remember_result(i, result)
+        if len(self._chain) >= _MAX_CHAIN:
+            self._finish_chain()
+
+    def foreign(self) -> None:
+        m = self._active
+        if m is not None:
+            self._active = None
+            m.region.penalty += 1
+            STATS.fallback_breaks += 1
+        if self._chain:
+            self._finish_chain()
+
+    def _finish_chain(self) -> None:
+        chain = self._chain
+        if not chain:
+            return
+        values = self._values
+        key = self._key
+        ext_sigs = self._ext_sigs
+        self._reset_learning()
+        if len(chain) < self._min_ops:
+            return
+        chain_key = (self.mode_key, tuple(key))
+        build = self._make_builder(chain, ext_sigs)
+        _REGISTRY.offer_chain(chain_key, values, build)
+
+    def _make_builder(self, chain, ext_sigs):
+        mode = self.mode_key
+        n_shadow = self._n_shadow()
+        worth_it = self._worth_it
+
+        def build(first, second):
+            consts: list = []
+            var_types: list = []
+            ops = []
+            for i, (ufunc, descs, rdtype, rshape, delta) in enumerate(chain):
+                final = []
+                for d in descs:
+                    if d[0] == "S":
+                        v1 = first[i][d[1]]
+                        v2 = second[i][d[1]]
+                        if _scalar_equal(v1, v2):
+                            final.append(("C", len(consts)))
+                            consts.append(v2)
+                        else:
+                            final.append(("V", len(var_types)))
+                            var_types.append(_vartype_tag(v2))
+                    else:
+                        final.append(d)
+                ops.append(RegionOp(ufunc, tuple(final), rdtype, rshape, delta))
+            region = Region(mode, ops, list(ext_sigs), consts, var_types, n_shadow)
+            spans = _mark_segments(ops)
+            if not worth_it(ops, spans):
+                return None
+            return region
+
+        return build
+
+    def _n_shadow(self) -> int:
+        return 0
+
+    @staticmethod
+    def _worth_it(ops, spans) -> bool:
+        # Plain mode has a high bar: the recipe-memoised interpreter is
+        # already within a few percent of raw NumPy per op, while every
+        # promoted region taxes each occurrence of its head ufunc with
+        # a guard pre-check.  Only regions that batch several dispatches
+        # per segment win more at replay than their matching costs —
+        # measured on the suite, short regions (2-3 ops/segment) are a
+        # consistent net loss.
+        return len(ops) >= _MIN_OPS_PLAIN and len(ops) >= 3 * len(spans)
+
+
+def plain_tracer(profile) -> FuseTracer | None:
+    """A tracer for one plain workspace, or ``None`` when fusion is
+    disabled, the reference recorder is active, or the tracer would be
+    provably inert (learning cooled down and no plain regions to
+    match) — in which case the per-op offer/note calls are skipped
+    entirely and the workspace runs at interpreted speed."""
+    from repro.runtime import mparray as _mp
+
+    if not fusion_enabled() or not _mp._FAST_MODE:
+        return None
+    tracer = FuseTracer(profile)
+    if not tracer._learning and not tracer._heads:
+        return None
+    return tracer
+
+
+class ShadowFuseTracer(FuseTracer):
+    """The shadow-mode tracer: temps and externals are *wrappers*
+    (identity-guarded ``ShadowArray`` objects), one generated segment
+    updates the reference and every shadow replica in a single pass,
+    and hand-out routes through the real ``ShadowContext.observe`` so
+    divergence stats and ``op_index`` ordering stay bit-identical to
+    the interpreted engine.
+
+    Learning holds strong references to wrappers (shadow mode has no
+    refcount-sensitive machinery: no ``out=`` reuse, no init-copy
+    elision), bounded by the chain cap and released at finalization.
+    """
+
+    _min_ops = _MIN_OPS_SHADOW
+
+    __slots__ = (
+        "mode_key", "_ctx", "_cb", "_n",
+        "_shadow_cls", "_base_cls", "_taint_and_divs", "_shadow_new",
+    )
+
+    def __init__(self, profile, ctx, shadow_cls, base_cls,
+                 taint_and_divs, shadow_new):
+        self._ctx = ctx
+        self._cb = ctx.cast_back
+        self._n = ctx.n
+        self._shadow_cls = shadow_cls
+        self._base_cls = base_cls
+        self._taint_and_divs = taint_and_divs
+        self._shadow_new = shadow_new
+        self.mode_key = ("shadow",) + tuple(np.dtype(d).str for d in ctx.dtypes)
+        FuseTracer.__init__(self, profile)
+
+    # -- matching ------------------------------------------------------------
+
+    def offer(self, ufunc, inputs):
+        m = self._active
+        if m is not None:
+            return self._advance(m, ufunc, inputs)
+        regions = self._heads.get(ufunc)
+        if regions is not None:
+            return self._try_start(regions, ufunc, inputs)
+        return None
+
+    def _match_op(self, m, region, pos, operands):
+        op = region.ops[pos]
+        descs = op.descs
+        if len(descs) != len(operands):
+            return False
+        for desc, x in zip(descs, operands):
+            kind = desc[0]
+            idx = desc[1]
+            if kind == "T":
+                if x is not m.W[idx]:
+                    return False
+            elif kind == "E":
+                if region.ext_guards[idx][0] == "w":
+                    bound = m.E[idx]
+                    if bound is not None:
+                        if x is not bound:
+                            return False
+                    elif not self._bind_wrapper(m, region, idx, x):
+                        return False
+                else:
+                    bound = m.ER[idx]
+                    if bound is not None:
+                        if x is not bound[0]:
+                            return False
+                    elif not self._bind_raw(m, region, idx, x):
+                        return False
+            elif kind == "C":
+                if not _scalar_equal(x, region.consts[idx]):
+                    return False
+            else:  # V
+                if m.V[idx] is None:
+                    if not _vartype_matches(region.var_types[idx], x):
+                        return False
+                    ctx = self._ctx
+                    m.V[idx] = (x,) + tuple(
+                        ctx.shadow_operand(x, k) for k in range(self._n)
+                    )
+                elif x is not m.V[idx][0] and not _scalar_equal(x, m.V[idx][0]):
+                    return False
+        return True
+
+    def _prestart(self, region, operands):
+        # shadow variant of the plain pre-filter: wrapper externals
+        # check the ShadowArray type + reference dtype/shape, raw
+        # externals the ndarray guard; crucially no shadow_operand
+        # conversions happen here (those are bind-time side effects).
+        descs = region.ops[0].descs
+        if len(descs) != len(operands):
+            return False
+        for desc, x in zip(descs, operands):
+            kind = desc[0]
+            if kind == "E":
+                guard = region.ext_guards[desc[1]]
+                if guard[0] == "w":
+                    if (
+                        type(x) is not self._shadow_cls
+                        or x._data.dtype != guard[1]
+                        or x._data.shape != guard[2]
+                    ):
+                        return False
+                elif (
+                    type(x) is not np.ndarray
+                    or x.dtype != guard[1]
+                    or x.shape != guard[2]
+                ):
+                    return False
+            elif kind == "C":
+                if not _scalar_equal(x, region.consts[desc[1]]):
+                    return False
+            elif kind == "V":
+                if not _vartype_matches(region.var_types[desc[1]], x):
+                    return False
+        return True
+
+    def _bind_wrapper(self, m, region, idx, x) -> bool:
+        guard = region.ext_guards[idx]  # ("w", dtype, shape, shadow dtypes)
+        if type(x) is not self._shadow_cls:
+            return False
+        data = x._data
+        shads = x._shadows
+        if (
+            data.dtype != guard[1]
+            or data.shape != guard[2]
+            or len(shads) != self._n
+        ):
+            return False
+        for s, sdt in zip(shads, guard[3]):
+            if s.dtype != sdt:
+                return False
+        m.E[idx] = x
+        return True
+
+    def _bind_raw(self, m, region, idx, x) -> bool:
+        guard = region.ext_guards[idx]  # ("r", dtype, shape)
+        if (
+            type(x) is np.ndarray
+            and x.dtype == guard[1]
+            and x.shape == guard[2]
+        ):
+            # Convert once per activation exactly as shadow_operand
+            # would per op (astype is deterministic, and no buffer can
+            # mutate while the region is active).
+            ctx = self._ctx
+            m.ER[idx] = (x,) + tuple(
+                ctx.shadow_operand(x, k) for k in range(self._n)
+            )
+            return True
+        return False
+
+    def _run_segment(self, m) -> bool:
+        start, end, fn = m.region.segments[m.next_seg]
+        m.next_seg += 1
+        try:
+            fn(self._cb, m.E, m.ER, m.V, m.T, m.S)
+        except Exception:
+            # Whole-segment abort *before* any hand-out: the interpreted
+            # re-execution reproduces per-precision degradation exactly.
+            return False
+        return True
+
+    def _handout(self, m, operands):
+        region = m.region
+        pos = m.pos
+        d = region.ops[pos].delta
+        self._profile.record_op_keyed(d[0], d[1], d[2], d[3], d[4])
+        STATS.fused_ops += 1
+        ctx = self._ctx
+        taint, in_divs = self._taint_and_divs(ctx, operands)
+        ref = m.T[pos]
+        raw = m.S[pos]
+        divs = ctx.observe(taint, ref, raw, in_divs)
+        fixed = tuple(np.asarray(s) for s in raw)
+        exact = not any(s is None for s in raw)
+        wrapper = self._shadow_new(ctx, ref, self._profile, fixed, taint, divs, exact)
+        m.W[pos] = wrapper
+        pos += 1
+        if pos == len(region.ops):
+            if region.penalty:  # decay, not reset — see FuseTracer._handout
+                region.penalty -= 1
+            self._active = None
+        else:
+            m.pos = pos
+            self._active = m
+        return wrapper
+
+    # -- learning ------------------------------------------------------------
+
+    def note(self, ufunc, inputs, raw_result, out):
+        if not self._learning:
+            return
+        if type(out) is not self._shadow_cls or out._data.dtype.kind != "f":
+            self._finish_chain()
+            return
+        if len(inputs) not in (1, 2):
+            self._finish_chain()
+            return
+        descs = []
+        for x in inputs:
+            d = self._learn_operand(x)
+            if d is None:
+                self._finish_chain()
+                return
+            descs.append(d)
+        base_cls = self._base_cls
+        raws = tuple(
+            x._data if isinstance(x, base_cls) else x for x in inputs
+        )
+        self._push(ufunc, tuple(descs), raws, raw_result, out)
+
+    def _learn_operand(self, x):
+        if type(x) is self._shadow_cls:
+            key = id(x)
+            idx = self._temp_ids.get(key)
+            if idx is not None and self._temp_refs[idx] is x:
+                return ("T", idx)
+            slot = self._ext_ids.get(key)
+            if slot is not None and self._ext_refs[slot] is x:
+                return ("E", slot)
+            if len(x._shadows) != self._n:
+                return None
+            slot = len(self._ext_sigs)
+            self._ext_ids[key] = slot
+            self._ext_refs.append(x)
+            self._ext_sigs.append((
+                "w", x._data.dtype.str, x._data.shape,
+                tuple(s.dtype.str for s in x._shadows),
+            ))
+            return ("E", slot)
+        if isinstance(x, self._base_cls):
+            return None  # a plain MPArray in a shadow run: bail out
+        if type(x) is np.ndarray:
+            key = id(x)
+            slot = self._ext_ids.get(key)
+            if slot is not None and self._ext_refs[slot] is x:
+                return ("E", slot)
+            slot = len(self._ext_sigs)
+            self._ext_ids[key] = slot
+            self._ext_refs.append(x)
+            self._ext_sigs.append(("r", x.dtype.str, x.shape))
+            return ("E", slot)
+        t = type(x)
+        if t is float or t is bool or t is int:
+            return ("S", x)
+        if isinstance(x, np.generic) and x.dtype.kind in "fiub":
+            return ("S", x)
+        return None
+
+    def _remember_result(self, i, result) -> None:
+        self._temp_ids[id(result)] = i
+        self._temp_refs.append(result)
+
+    def _n_shadow(self) -> int:
+        return self._n
+
+    @staticmethod
+    def _worth_it(ops, spans) -> bool:
+        # Every fused shadow op skips one wrapper dispatch, an errstate
+        # enter/exit and the shadow-operand walk, even in 1-op segments.
+        return True
+
+
+def shadow_tracer(profile, ctx):
+    """A tracer for one shadow workspace, or ``None`` when fusion is
+    disabled or the reference recorder is active."""
+    from repro.runtime import mparray as _mp
+
+    if not fusion_enabled() or not _mp._FAST_MODE:
+        return None
+    from repro.shadow import engine as _engine
+
+    tracer = ShadowFuseTracer(
+        profile, ctx, _engine.ShadowArray, _mp.MPArray,
+        _engine._taint_and_divs, _engine._shadow_new,
+    )
+    if not tracer._learning and not tracer._heads:
+        return None  # inert: cooled down with no regions for this mode
+    return tracer

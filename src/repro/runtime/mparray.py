@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import contextlib
 import sys
+import threading
 from typing import Any, Callable
 
 import numpy as np
@@ -89,7 +90,33 @@ _MODE_CALL, _MODE_REDUCE, _MODE_MATMUL, _MODE_OUTER, _MODE_AT = range(5)
 #: tuple, element-count mode, raw slot of the first array input or
 #: -1).  Benchmarks reuse a handful of signatures millions of times,
 #: so this table turns per-call classification into one dict probe.
+#:
+#: Concurrency: the hot-path *read* (``_RECIPES[key]``) is a single
+#: bytecode dict probe, atomic under the GIL, and recipes are pure
+#: functions of their key, so a racing double-build stores the same
+#: value — reads therefore stay lock-free.  *Writes* go through
+#: ``_remember_recipe`` below, which takes ``_RECIPES_LOCK`` so the
+#: eviction sweep (the table is shared by every thread-pool worker and
+#: would otherwise grow without bound across a long-lived service
+#: process) never interleaves with another writer's insert.
 _RECIPES: dict[tuple, tuple] = {}
+_RECIPES_LOCK = threading.Lock()
+#: size cap for the signature table; a full benchmark-suite sweep uses
+#: a few hundred signatures, so 4096 means eviction only ever triggers
+#: under adversarial dtype/shape churn.
+_RECIPES_MAX = 4096
+
+
+def _remember_recipe(key: tuple, recipe: tuple) -> None:
+    """Insert one recipe under the lock, evicting the oldest quarter of
+    the table first when it is full (insertion order ~ first use, so
+    evicted signatures are the longest-unrefreshed ones; any still in
+    live use are simply rebuilt on their next call)."""
+    with _RECIPES_LOCK:
+        if len(_RECIPES) >= _RECIPES_MAX:
+            for stale in list(_RECIPES)[: _RECIPES_MAX // 4]:
+                del _RECIPES[stale]
+        _RECIPES[key] = recipe
 
 
 def _build_ufunc_recipe(ufunc, method, result_dtype, input_dtypes):
@@ -289,6 +316,11 @@ class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
     # -- ufunc dispatch -------------------------------------------------------
     def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
         if kwargs:
+            # ``out=`` (and friends) can mutate traced buffers; break
+            # any active fused region / learning chain first.
+            tracer = self._profile.fuse
+            if tracer is not None:
+                tracer.foreign()
             return self._array_ufunc_with_kwargs(ufunc, method, inputs, kwargs)
         if len(inputs) == 2:
             x0, x1 = inputs
@@ -304,10 +336,32 @@ class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
                 x._data if isinstance(x, MPArray) else x for x in inputs
             )
         if method == "__call__":
+            tracer = self._profile.fuse
+            if tracer is not None and len(raw_inputs) <= 2:
+                if len(raw_inputs) == 2:
+                    fused = tracer.offer2(ufunc, raw_inputs[0], raw_inputs[1])
+                else:
+                    fused = tracer.offer1(ufunc, raw_inputs[0])
+                if fused is not None:
+                    wrapped = _MP_NEW(MPArray)
+                    wrapped._data = fused
+                    wrapped._profile = self._profile
+                    return wrapped
             result = ufunc(*raw_inputs)
+            self._record_ufunc(ufunc, method, raw_inputs, result)
+            if tracer is not None and len(raw_inputs) <= 2:
+                if len(raw_inputs) == 2:
+                    tracer.note2(ufunc, raw_inputs[0], raw_inputs[1], result)
+                else:
+                    tracer.note1(ufunc, raw_inputs[0], result)
         else:
+            if method == "at":
+                # ufunc.at mutates its first operand in place.
+                tracer = self._profile.fuse
+                if tracer is not None:
+                    tracer.foreign()
             result = getattr(ufunc, method)(*raw_inputs)
-        self._record_ufunc(ufunc, method, raw_inputs, result)
+            self._record_ufunc(ufunc, method, raw_inputs, result)
 
         profile = self._profile
         if isinstance(result, np.ndarray):
@@ -406,7 +460,7 @@ class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
             opkey, cast_slots, mode, first_array = _RECIPES[key]
         except KeyError:
             recipe = _build_ufunc_recipe(ufunc, method, result_dtype, key[3:])
-            _RECIPES[key] = recipe
+            _remember_recipe(key, recipe)
             opkey, cast_slots, mode, first_array = recipe
 
         if mode == _MODE_CALL:
@@ -496,6 +550,9 @@ class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
 
     # -- non-ufunc NumPy functions ---------------------------------------------
     def __array_function__(self, func, types, args, kwargs):
+        tracer = self._profile.fuse
+        if tracer is not None and (func in _MUTATING_FUNCTIONS or "out" in kwargs):
+            tracer.foreign()
         raw_args = _unwrap_tree(args)
         raw_kwargs = _unwrap_tree(kwargs) if kwargs else kwargs
         result = func(*raw_args, **raw_kwargs)
@@ -563,6 +620,9 @@ class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
 
     def _setitem_fast(self, key: Any, value: Any) -> None:
         """Basic-index stores with the MOVE bucket key cached per dtype."""
+        tracer = self._profile.fuse
+        if tracer is not None:
+            tracer.foreign()
         if not _is_basic_index(key):
             self._setitem_reference(key, value)
             return
@@ -612,6 +672,9 @@ class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
         return MPArray(self._data.copy(), self._profile)
 
     def fill(self, value: Any) -> None:
+        tracer = self._profile.fuse
+        if tracer is not None:
+            tracer.foreign()
         self._data.fill(unwrap(value))
         self._profile.record_op(
             OpClass.MOVE, self.dtype.name, float(self.size),
@@ -891,6 +954,18 @@ def _make_binop(ufunc):
         else:
             return ufunc(self, other)  # full NumPy dispatch for exotic types
         a = self._data
+        # Trace-fusion hook: an active compiled region may already hold
+        # this op's result; a None return guarantees the tracer took no
+        # new reference to self/a/b, so the reuse refcount test below
+        # stays calibrated.
+        tracer = self._profile.fuse
+        if tracer is not None:
+            fused = tracer.offer2(ufunc, a, b)
+            if fused is not None:
+                wrapped = _MP_NEW(MPArray)
+                wrapped._data = fused
+                wrapped._profile = self._profile
+                return wrapped
         out = None
         if reusable and _FAST_MODE:
             if (
@@ -920,6 +995,8 @@ def _make_binop(ufunc):
                 out = b
         result = ufunc(a, b) if out is None else ufunc(a, b, out=out)
         self._record_ufunc(ufunc, "__call__", (a, b), result)
+        if tracer is not None:
+            tracer.note2(ufunc, a, b, result)
         if result.ndim:
             wrapped = _MP_NEW(MPArray)
             wrapped._data = result
@@ -943,6 +1020,14 @@ def _make_rbinop(ufunc):
         else:
             return ufunc(other, self)
         a = self._data
+        tracer = self._profile.fuse
+        if tracer is not None:
+            fused = tracer.offer2(ufunc, b, a)
+            if fused is not None:
+                wrapped = _MP_NEW(MPArray)
+                wrapped._data = fused
+                wrapped._profile = self._profile
+                return wrapped
         out = None
         if (
             reusable
@@ -962,6 +1047,8 @@ def _make_rbinop(ufunc):
             out = a
         result = ufunc(b, a) if out is None else ufunc(b, a, out=out)
         self._record_ufunc(ufunc, "__call__", (b, a), result)
+        if tracer is not None:
+            tracer.note2(ufunc, b, a, result)
         if result.ndim:
             wrapped = _MP_NEW(MPArray)
             wrapped._data = result
@@ -975,6 +1062,14 @@ def _make_rbinop(ufunc):
 def _make_unop(ufunc):
     def op(self):
         a = self._data
+        tracer = self._profile.fuse
+        if tracer is not None:
+            fused = tracer.offer1(ufunc, a)
+            if fused is not None:
+                wrapped = _MP_NEW(MPArray)
+                wrapped._data = fused
+                wrapped._profile = self._profile
+                return wrapped
         if (
             _FAST_MODE
             and a.dtype.kind == "f"
@@ -987,6 +1082,8 @@ def _make_unop(ufunc):
         else:
             result = ufunc(a)
         self._record_ufunc(ufunc, "__call__", (a,), result)
+        if tracer is not None:
+            tracer.note1(ufunc, a, result)
         if result.ndim:
             wrapped = _MP_NEW(MPArray)
             wrapped._data = result
@@ -1073,6 +1170,11 @@ MPArray.__rpow__ = _make_rbinop(np.power)
 MPArray.__neg__ = _make_unop(np.negative)
 MPArray.__abs__ = _make_unop(np.absolute)
 
+
+#: NumPy functions that write into an argument in place: the fusion
+#: tracer must treat a call to any of these as a foreign mutation
+#: (resolved at call time, so the set may live below the class body).
+_MUTATING_FUNCTIONS = frozenset({np.copyto, np.put, np.place, np.putmask})
 
 _FUNCTION_HANDLERS: dict[Callable, Callable[[Profile, Any, Any], None]] = {
     np.dot: _record_dot,

@@ -102,7 +102,7 @@ class Profile:
     __slots__ = (
         "ops", "bytes_read", "bytes_written", "cast_elements",
         "gather_elements", "ufunc_calls", "io_bytes", "peak_footprint",
-        "_live_footprint",
+        "_live_footprint", "fuse",
     )
 
     def __init__(
@@ -125,6 +125,23 @@ class Profile:
         self.io_bytes = io_bytes
         self.peak_footprint = peak_footprint
         self._live_footprint = 0
+        # Optional trace-fusion recorder (repro.runtime.fuse).  The
+        # workspace installs one per execution; ``None`` means every op
+        # runs interpreted.  Not a counter: excluded from equality and
+        # from pickling (tracers hold compiled code and weakrefs).
+        self.fuse = None
+
+    def __getstate__(self) -> dict:
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "fuse"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self.fuse = None
 
     def __repr__(self) -> str:
         return (

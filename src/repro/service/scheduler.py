@@ -42,6 +42,7 @@ from repro.core.checkpoint import RunJournal, job_key, load_run_state
 from repro.errors import MixPBenchError
 from repro.harness.scheduler import JobResult, SearchJob, run_shard
 from repro.runtime.cache import EvaluationCache
+from repro.runtime.fuse import set_fuse_cache_dir
 from repro.service.queue import ServiceJournal, state_paths
 from repro.service.spec import GridSpec, JobRecord
 
@@ -135,8 +136,13 @@ class Scheduler:
         hooks: SchedulerHooks | None = None,
     ) -> None:
         self.paths = state_paths(state_dir)
-        for name in ("root", "cache", "runs", "jobs", "spool"):
+        for name in ("root", "cache", "fuse", "runs", "jobs", "spool"):
             self.paths[name].mkdir(parents=True, exist_ok=True)
+        # Compiled trace-fusion regions are shared across every shard
+        # and every tenant (keyed by content digest, so collisions are
+        # impossible): one worker's compilation warms all the others,
+        # including across service restarts.
+        set_fuse_cache_dir(self.paths["fuse"])
         self.workers = max(1, int(workers))
         self.quota = max(1, int(quota))
         self.shard_retries = max(0, int(shard_retries))

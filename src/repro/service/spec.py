@@ -61,6 +61,9 @@ class GridSpec:
     max_retries: int = 0
     prune: bool = False
     shadow: bool = False
+    #: trace-fusion fast path toggle (bit-identical either way; a
+    #: submission with ``fuse=False`` runs its shards interpreted)
+    fuse: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "programs", tuple(self.programs))
@@ -91,6 +94,7 @@ class GridSpec:
             max_retries=self.max_retries,
             prune=self.prune,
             shadow=self.shadow,
+            fuse=self.fuse,
         )
 
     @property
@@ -121,6 +125,7 @@ class GridSpec:
             "max_retries": self.max_retries,
             "prune": self.prune,
             "shadow": self.shadow,
+            "fuse": self.fuse,
         }
 
     @classmethod
@@ -130,7 +135,7 @@ class GridSpec:
         known = {
             "programs", "algorithms", "thresholds", "max_evaluations",
             "time_limit_seconds", "executor", "executor_workers",
-            "trial_timeout", "max_retries", "prune", "shadow",
+            "trial_timeout", "max_retries", "prune", "shadow", "fuse",
         }
         unknown = set(payload) - known
         if unknown:
@@ -150,6 +155,7 @@ class GridSpec:
                 max_retries=int(payload.get("max_retries", 0)),
                 prune=bool(payload.get("prune", False)),
                 shadow=bool(payload.get("shadow", False)),
+                fuse=bool(payload.get("fuse", True)),
             )
         except KeyError as missing:
             raise SpecError(f"grid spec is missing {missing.args[0]!r}") from None

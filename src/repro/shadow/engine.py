@@ -40,6 +40,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.types import Precision
+from repro.runtime import fuse as _fuse
 from repro.runtime import mparray as _mparray
 from repro.runtime.memory import Workspace
 from repro.runtime.mparray import (
@@ -99,6 +100,7 @@ class ShadowContext:
         data: np.ndarray,
         shadows: tuple[np.ndarray, ...],
         carried_divs: tuple[float, ...] | None,
+        known_divs: tuple[float, ...] | None = None,
     ) -> tuple[float, ...]:
         """Record a workspace declaration; returns the new wrapper's
         per-precision divergence levels.
@@ -108,13 +110,22 @@ class ShadowContext:
         propagation error, so it does not count as *storage* error —
         that field only records the rounding a fresh fp64→shadow cast
         introduces.
+
+        ``known_divs`` asserts the divergence of ``(data, shadows)``
+        is already known bit-exactly — the declaration is a same-dtype
+        copy (or aliases) of a wrapper whose ``_divs`` were produced by
+        this very metric on these very values — so the measurement is
+        skipped instead of recomputed.
         """
         self.op_index += 1
         op = self.op_index
         table = self.stats_for(uid)
         divs = []
         for k in range(self.n):
-            d = _relative_divergence_core(data, shadows[k])
+            if known_divs is not None:
+                d = known_divs[k]
+            else:
+                d = _relative_divergence_core(data, shadows[k])
             st = table[k]
             if carried_divs is None:
                 if d > st.storage_error:
@@ -144,13 +155,41 @@ class ShadowContext:
         """
         self.op_index += 1
         op = self.op_index
-        divs = []
-        for k in range(self.n):
-            s = shadows[k]
-            divs.append(in_divs[k] if s is None else _relative_divergence_core(ref, s))
+        n = self.n
+        stats = self.stats
+        if n == 1:
+            # The default configuration: one fp32 replica.  Hoisting
+            # the per-precision indexing out of the taint loop matters
+            # because attribution is O(ops × tainting variables) —
+            # the widest loop in a shadow run.
+            s = shadows[0]
+            in_d = in_divs[0]
+            d = in_d if s is None else _relative_divergence_core(ref, s)
+            diverged = d > 0.0
+            delta = d - in_d if d > in_d else 0.0  # inf > inf is False
+            for uid in taint:
+                table = stats.get(uid)
+                if table is None:
+                    table = stats[uid] = (VariableStats(),)
+                st = table[0]
+                st.ops += 1
+                if d > st.max_divergence:
+                    st.max_divergence = d
+                if diverged and st.first_divergence_op is None:
+                    st.first_divergence_op = op
+                if delta:
+                    st.amplification += delta
+            return (d,)
+        divs = tuple(
+            in_divs[k] if shadows[k] is None
+            else _relative_divergence_core(ref, shadows[k])
+            for k in range(n)
+        )
         for uid in taint:
-            table = self.stats_for(uid)
-            for k in range(self.n):
+            table = stats.get(uid)
+            if table is None:
+                table = stats[uid] = tuple(VariableStats() for _ in range(n))
+            for k in range(n):
                 st = table[k]
                 st.ops += 1
                 d = divs[k]
@@ -160,7 +199,7 @@ class ShadowContext:
                     st.first_divergence_op = op
                 if d > in_divs[k]:  # inf > inf is False: no nan deltas
                     st.amplification += d - in_divs[k]
-        return tuple(divs)
+        return divs
 
     def observe_sink(self, taint: frozenset, ref: np.ndarray, shadow, k: int) -> None:
         """Record a value reaching a verification sink (program output)."""
@@ -217,15 +256,29 @@ class ShadowContext:
 
 def _taint_and_divs(ctx: ShadowContext, inputs) -> tuple[frozenset, tuple[float, ...]]:
     """Union taint and per-precision max divergence over the wrapped
-    operands of one operation."""
-    taint = frozenset()
-    divs = ctx._zero_divs
+    operands of one operation.
+
+    The single-wrapped-operand case (every unary op, plus binary ops
+    against constants) returns the operand's own frozenset/tuple —
+    both immutable, so sharing them with the result wrapper is safe
+    and skips two allocations on the hottest path in shadow mode.
+    """
+    taint = None
+    divs = None
     for x in inputs:
         if isinstance(x, ShadowArray):
-            taint = taint | x._taint
-            xd = x._divs
-            if xd != divs:
-                divs = tuple(max(a, b) for a, b in zip(divs, xd))
+            if taint is None:
+                taint = x._taint
+                divs = x._divs
+            else:
+                xt = x._taint
+                if xt is not taint:
+                    taint = taint | xt
+                xd = x._divs
+                if xd is not divs and xd != divs:
+                    divs = tuple(max(a, b) for a, b in zip(divs, xd))
+    if taint is None:
+        return frozenset(), ctx._zero_divs
     return taint, divs
 
 
@@ -241,7 +294,7 @@ def _tree_taint_and_divs(ctx: ShadowContext, obj, taint, divs):
     return taint, divs
 
 
-def _shadow_new(ctx, data, profile, shadows, taint, divs):
+def _shadow_new(ctx, data, profile, shadows, taint, divs, divs_exact=False):
     arr = ShadowArray.__new__(ShadowArray)
     arr._data = data
     arr._profile = profile
@@ -249,6 +302,7 @@ def _shadow_new(ctx, data, profile, shadows, taint, divs):
     arr._shadows = shadows
     arr._taint = taint
     arr._divs = divs
+    arr._divs_exact = divs_exact
     return arr
 
 
@@ -264,7 +318,12 @@ class ShadowArray(MPArray):
     keep their lineage.
     """
 
-    __slots__ = ("_ctx", "_shadows", "_taint", "_divs")
+    #: ``_divs_exact`` marks wrappers whose ``_divs`` are a fresh
+    #: measurement of exactly the held ``(_data, _shadows)`` buffers —
+    #: as opposed to a carried/merged upper bound (slices, ``out=``
+    #: targets, degraded slots).  Declarations that copy such a wrapper
+    #: at the same dtypes reuse the numbers instead of remeasuring.
+    __slots__ = ("_ctx", "_shadows", "_taint", "_divs", "_divs_exact")
 
     def __init__(self, data, profile, ctx, shadows, taint=frozenset(), divs=None):
         super().__init__(data, profile)
@@ -272,6 +331,7 @@ class ShadowArray(MPArray):
         self._shadows = tuple(shadows)
         self._taint = frozenset(taint)
         self._divs = tuple(divs) if divs is not None else ctx._zero_divs
+        self._divs_exact = False
 
     def __repr__(self) -> str:
         return f"ShadowArray({self._data!r}, taint={sorted(self._taint)})"
@@ -287,6 +347,21 @@ class ShadowArray(MPArray):
     # -- ufunc dispatch ----------------------------------------------------
     def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
         ctx = self._ctx
+        # Trace-fusion hook: a matched region computes the reference
+        # and every shadow replica in one generated pass and hands back
+        # the finished wrapper (stats routed through ctx.observe, so
+        # attribution is bit-identical).  ``out=`` and ``ufunc.at``
+        # mutate traced buffers and end any active region instead.
+        tracer = self._profile.fuse
+        traceable = False
+        if tracer is not None:
+            if kwargs or method == "at":
+                tracer.foreign()
+            elif method == "__call__" and len(inputs) <= 2:
+                fused = tracer.offer(ufunc, inputs)
+                if fused is not None:
+                    return fused
+                traceable = True
         out = kwargs.get("out")
         raw_out = None
         if out is not None:
@@ -314,8 +389,11 @@ class ShadowArray(MPArray):
                 except Exception:
                     s = None
                 shadows.append(s)
-        return self._finish(ufunc, method, inputs, result, taint, in_divs,
-                            shadows, out, raw_out)
+        wrapped = self._finish(ufunc, method, inputs, result, taint, in_divs,
+                               shadows, out, raw_out)
+        if traceable:
+            tracer.note(ufunc, inputs, result, wrapped)
+        return wrapped
 
     def _finish(self, ufunc, method, inputs, result, taint, in_divs, shadows,
                 out=None, raw_out=None):
@@ -351,8 +429,10 @@ class ShadowArray(MPArray):
                     fixed.append(np.asarray(s))
             if is_float:
                 divs = ctx.observe(taint, result, shadows, in_divs)
+                exact = not any(s is None for s in shadows)
             else:
                 divs = in_divs
+                exact = False
             if out is not None and raw_out is not None:
                 target = out[0] if isinstance(out, tuple) else out
                 if isinstance(target, ShadowArray):
@@ -363,8 +443,11 @@ class ShadowArray(MPArray):
                             )
                     target._taint = target._taint | taint
                     target._divs = divs
+                    # copyto may re-round to the target's dtype, so the
+                    # measured numbers no longer describe its buffers.
+                    target._divs_exact = False
                     return target
-            return _shadow_new(ctx, result, profile, tuple(fixed), taint, divs)
+            return _shadow_new(ctx, result, profile, tuple(fixed), taint, divs, exact)
         if isinstance(result, np.generic):
             # np scalar result (reductions over 0-d etc.): keep lineage
             # for floats via a 0-d wrapper.
@@ -380,13 +463,19 @@ class ShadowArray(MPArray):
                         else:
                             fixed.append(np.asarray(s))
                 divs = ctx.observe(taint, data, shadows, in_divs)
-                return _shadow_new(ctx, data, self._profile, tuple(fixed), taint, divs)
+                exact = not any(s is None for s in shadows)
+                return _shadow_new(ctx, data, self._profile, tuple(fixed), taint, divs, exact)
             return result
         return result
 
     # -- non-ufunc NumPy functions -----------------------------------------
     def __array_function__(self, func, types, args, kwargs):
         ctx = self._ctx
+        tracer = self._profile.fuse
+        if tracer is not None and (
+            func in _mparray._MUTATING_FUNCTIONS or "out" in kwargs
+        ):
+            tracer.foreign()
         raw_args = _unwrap_tree(args)
         raw_kwargs = _unwrap_tree(kwargs) if kwargs else kwargs
         result = func(*raw_args, **raw_kwargs)
@@ -435,6 +524,7 @@ class ShadowArray(MPArray):
         # MOVE/gather exactly like a normal run (honours reference mode).
         MPArray.__setitem__(self, key, value)
         raw_key = _unwrap_tree(key)
+        self._divs_exact = False
         with np.errstate(all="ignore"):
             if isinstance(value, ShadowArray):
                 for k in range(ctx.n):
@@ -478,6 +568,7 @@ class ShadowArray(MPArray):
 
     def fill(self, value):
         MPArray.fill(self, value)
+        self._divs_exact = False
         raw = unwrap(value)
         with np.errstate(all="ignore"):
             if isinstance(value, ShadowArray):
@@ -515,11 +606,19 @@ class ShadowWorkspace(Workspace):
     def __init__(self, *args, shadow_context: ShadowContext, **kwargs):
         super().__init__(*args, **kwargs)
         self.shadow = shadow_context
+        # Replace the base class's plain-mode tracer: shadow regions
+        # update the reference and every replica in one generated pass.
+        self.profile.fuse = _fuse.shadow_tracer(self.profile, shadow_context)
 
-    def _declare(self, uid, data, shadows, taint, carried_divs):
+    def _declare(self, uid, data, shadows, taint, carried_divs, known_divs=None):
         ctx = self.shadow
-        divs = ctx.declare(uid, data, shadows, carried_divs)
-        return _shadow_new(ctx, data, self.profile, shadows, taint, divs)
+        tracer = self.profile.fuse
+        if tracer is not None:
+            tracer.foreign()
+        divs = ctx.declare(uid, data, shadows, carried_divs, known_divs)
+        # Exact by construction: either just measured on these buffers,
+        # or known_divs carried an equally exact measurement over.
+        return _shadow_new(ctx, data, self.profile, shadows, taint, divs, True)
 
     def array(self, name, shape=None, init=None, fill=None):
         ctx = self.shadow
@@ -550,7 +649,17 @@ class ShadowWorkspace(Workspace):
                     shadows.append(src.astype(sdt) if src.dtype != sdt else src.copy())
                 else:
                     shadows.append(data.astype(sdt))
-        arr = self._declare(uid, data, tuple(shadows), taint, carried_divs)
+        known_divs = None
+        if (
+            init_shadows is not None
+            and init._divs_exact
+            and init._data.dtype == dtype
+            and all(s.dtype == sdt for s, sdt in zip(init_shadows, ctx.dtypes))
+        ):
+            # Same-dtype copies: the divergence of (data, shadows) is
+            # bit-identical to the source wrapper's, so skip remeasuring.
+            known_divs = init._divs
+        arr = self._declare(uid, data, tuple(shadows), taint, carried_divs, known_divs)
         previous = self._arrays.get(name)
         if previous is not None:
             self.profile.track_free(previous.nbytes)
@@ -564,6 +673,7 @@ class ShadowWorkspace(Workspace):
         uid = self.resolve(name)
         taint = frozenset((uid,))
         carried_divs = None
+        known_divs = None
         with np.errstate(all="ignore"):
             if isinstance(value, ShadowArray):
                 taint = taint | value._taint
@@ -572,10 +682,18 @@ class ShadowWorkspace(Workspace):
                 shadows = tuple(
                     np.asarray(s, dtype=sdt) for s, sdt in zip(value._shadows, ctx.dtypes)
                 )
+                if (
+                    value._divs_exact
+                    and value._data.dtype == dtype
+                    and all(s.dtype == sdt for s, sdt in zip(value._shadows, ctx.dtypes))
+                ):
+                    # np.asarray at the same dtype aliases, so the
+                    # measurement would be of the identical values.
+                    known_divs = value._divs
             else:
                 data = np.asarray(dtype.type(unwrap(value)))
                 shadows = tuple(np.asarray(data, dtype=sdt) for sdt in ctx.dtypes)
-        return self._declare(uid, data, shadows, taint, carried_divs)
+        return self._declare(uid, data, shadows, taint, carried_divs, known_divs)
 
     def param(self, name, value):
         ctx = self.shadow
@@ -587,6 +705,7 @@ class ShadowWorkspace(Workspace):
             return self._declare(
                 uid, value._data, value._shadows,
                 value._taint | frozenset((uid,)), value._divs,
+                value._divs if value._divs_exact else None,
             )
         if isinstance(value, MPArray):
             return super().param(name, value)

@@ -30,6 +30,9 @@ __all__ = [
 
 MetricFn = Callable[[np.ndarray, np.ndarray], float]
 
+_F64_NUM = np.dtype(np.float64).num
+_INF = float("inf")
+
 
 def _as_pair(reference: Any, candidate: Any) -> tuple[np.ndarray, np.ndarray]:
     ref = np.asarray(unwrap(reference), dtype=np.float64).ravel()
@@ -144,8 +147,53 @@ def _relative_divergence_core(ref: np.ndarray, cand: np.ndarray) -> float:
     * the denominator ``max(|ref|, |cand|)`` is only applied where the
       difference is non-zero, so it is provably positive there — a
       zero-against-zero cell contributes exactly 0, never 0/0.
+
+    The all-finite fast path below computes the same maximum without
+    boolean fancy-indexing.  It is taken only when the reference is
+    already fp64 and the candidate a float of at most 64 bits, where
+    the slow path's fp64 casts are value-exact, so mixed-precision
+    arithmetic (fp64 - fp16 promotes each element exactly) produces
+    bit-identical quotients; ``np.fmax.reduce`` then ignores the NaNs
+    that 0/0 cells contribute (a zero difference never exceeds a
+    positive maximum, and ``mx > 0`` guarantees one exists).
     """
     with np.errstate(all="ignore"):
+        rd = getattr(ref, "dtype", None)
+        cd = getattr(cand, "dtype", None)
+        if (
+            rd is not None
+            and rd.num == _F64_NUM
+            and cd is not None
+            and cd.kind == "f"
+            and cd.itemsize <= 8
+        ):
+            diff = np.subtract(ref, cand)
+            if type(diff) is not np.ndarray:
+                # 0-d / scalar operands: plain IEEE-754 double math is
+                # the same arithmetic NumPy would do, minus ~10 ufunc
+                # dispatches (scalar accumulator chains hit this on
+                # every op)
+                r = float(ref)
+                c = float(cand)
+                if r != r or r in (_INF, -_INF):
+                    return 0.0  # non-finite reference: no information
+                if c != c or c in (_INF, -_INF):
+                    return _INF
+                d = abs(r - c)
+                if d == 0.0:
+                    return 0.0
+                return d / max(abs(r), abs(c))
+            if diff.size == 0:
+                return 0.0
+            np.abs(diff, out=diff)
+            mx = float(diff.max())
+            if mx == 0.0:
+                return 0.0
+            if mx < _INF:  # NaN/inf anywhere falls through
+                denom = np.abs(ref)
+                np.maximum(denom, np.abs(cand), out=denom)
+                np.divide(diff, denom, out=diff)
+                return float(np.fmax.reduce(diff, axis=None))
         ref = np.asarray(ref, dtype=np.float64)
         cand = np.asarray(cand, dtype=np.float64)
         ref_ok = np.isfinite(ref)

@@ -255,3 +255,108 @@ class TestHelpers:
         np.testing.assert_array_equal(raw, np.arange(4.0))
         converted = np.asarray(a, dtype=np.float32)
         assert converted.dtype == np.float32
+
+
+class TestRecipeTableConcurrency:
+    """The signature->recipe table is shared process state: reads are
+    lock-free (GIL-atomic dict probes), writes go through
+    ``_remember_recipe`` under a lock with bounded-size eviction."""
+
+    def test_eviction_keeps_table_bounded(self, monkeypatch):
+        from repro.runtime import mparray as _mparray
+
+        monkeypatch.setattr(_mparray, "_RECIPES_MAX", 16)
+        saved = dict(_mparray._RECIPES)
+        _mparray._RECIPES.clear()
+        try:
+            for i in range(64):
+                _mparray._remember_recipe(("synthetic", i), ("recipe", i))
+                assert len(_mparray._RECIPES) <= 16
+            # the newest insert always survives its own insertion
+            assert _mparray._RECIPES[("synthetic", 63)] == ("recipe", 63)
+        finally:
+            _mparray._RECIPES.clear()
+            _mparray._RECIPES.update(saved)
+
+    def test_eviction_drops_oldest_quarter_first(self, monkeypatch):
+        from repro.runtime import mparray as _mparray
+
+        monkeypatch.setattr(_mparray, "_RECIPES_MAX", 8)
+        saved = dict(_mparray._RECIPES)
+        _mparray._RECIPES.clear()
+        try:
+            for i in range(8):
+                _mparray._remember_recipe(("old", i), i)
+            _mparray._remember_recipe(("new", 0), 99)
+            assert ("old", 0) not in _mparray._RECIPES
+            assert ("old", 1) not in _mparray._RECIPES
+            assert ("old", 7) in _mparray._RECIPES
+            assert _mparray._RECIPES[("new", 0)] == 99
+        finally:
+            _mparray._RECIPES.clear()
+            _mparray._RECIPES.update(saved)
+
+    def test_threaded_inserts_and_reads_stay_consistent(self, monkeypatch):
+        import threading
+
+        from repro.runtime import mparray as _mparray
+
+        monkeypatch.setattr(_mparray, "_RECIPES_MAX", 32)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def writer(worker):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(400):
+                    key = ("thread", worker % 4, i % 40)
+                    _mparray._remember_recipe(key, ("value", worker % 4, i % 40))
+            except Exception as exc:  # noqa: BLE001 — reported below
+                errors.append(exc)
+
+        def reader(worker):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(400):
+                    value = _mparray._RECIPES.get(("thread", worker % 4, i % 40))
+                    # racing a concurrent eviction may miss, but a hit
+                    # must be the full, correctly-keyed recipe tuple
+                    if value is not None:
+                        assert value == ("value", worker % 4, i % 40)
+            except Exception as exc:  # noqa: BLE001 — reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        threads += [threading.Thread(target=reader, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(_mparray._RECIPES) <= 32
+
+    def test_threaded_real_workloads_compute_correctly(self):
+        import threading
+
+        from repro.runtime.memory import Workspace
+
+        errors = []
+
+        def work(seed):
+            try:
+                ws = Workspace()
+                x = ws.array("x", shape=64, fill=float(seed + 1))
+                y = ws.array("y", shape=64, fill=2.0)
+                for _ in range(25):
+                    z = ((x + y) * 0.5 - y / 4.0) + float(seed)
+                expected = ((seed + 1 + 2.0) * 0.5 - 0.5) + seed
+                assert float(z[0]) == expected
+            except Exception as exc:  # noqa: BLE001 — reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors

@@ -83,3 +83,75 @@ def test_nan_poisoning(x):
     assert math.isnan(mse(x, poisoned))
     assert math.isnan(mcr(x, poisoned))
     assert math.isnan(r_squared(x, poisoned))
+
+
+def _divergence_reference(ref, cand):
+    """The textbook formulation of :func:`_relative_divergence_core`
+    (pre-fast-path), kept as the oracle the optimised version must
+    match bit-for-bit: the shadow engine's attribution numbers flow
+    straight from it."""
+    with np.errstate(all="ignore"):
+        ref = np.asarray(ref, dtype=np.float64)
+        cand = np.asarray(cand, dtype=np.float64)
+        ref_ok = np.isfinite(ref)
+        if not ref_ok.all():
+            if not ref_ok.any():
+                return 0.0
+            ref = ref[ref_ok]
+            cand = cand[ref_ok]
+        if not np.isfinite(cand).all():
+            return float("inf")
+        diff = np.abs(ref - cand)
+        nonzero = diff > 0.0
+        if not nonzero.any():
+            return 0.0
+        diff = diff[nonzero]
+        denom = np.maximum(np.abs(ref[nonzero]), np.abs(cand[nonzero]))
+        return float(np.max(diff / denom))
+
+
+@st.composite
+def divergence_cases(draw):
+    """fp64 reference vs a replica at a random shadow precision, with
+    non-finite cells sprinkled into both sides."""
+    ref = draw(arrays(
+        np.float64, st.integers(0, 48),
+        elements=st.floats(min_value=-1e30, max_value=1e30,
+                           allow_nan=False, allow_infinity=False),
+    ))
+    dtype = draw(st.sampled_from((np.float16, np.float32, np.float64)))
+    with np.errstate(all="ignore"):
+        cand = ref.astype(dtype)
+    if draw(st.booleans()) and ref.size:
+        cand = cand + draw(st.sampled_from(
+            (dtype(0.5), dtype(1e-3), dtype(0))))
+    for arr, poison in ((ref, draw(st.booleans())), (cand, draw(st.booleans()))):
+        if poison and ref.size:
+            i = draw(st.integers(0, ref.size - 1))
+            arr[i] = draw(st.sampled_from((np.nan, np.inf, -np.inf)))
+    return ref, cand
+
+
+@given(divergence_cases())
+@settings(max_examples=200)
+def test_relative_divergence_fast_path_matches_reference(case):
+    from repro.verify.metrics import _relative_divergence_core
+
+    ref, cand = case
+    got = _relative_divergence_core(ref, cand)
+    want = _divergence_reference(ref, cand)
+    assert got == want or (math.isnan(got) and math.isnan(want))
+
+
+@given(st.floats(allow_nan=True, allow_infinity=True),
+       st.floats(allow_nan=True, allow_infinity=True),
+       st.sampled_from((np.float16, np.float32, np.float64)))
+@settings(max_examples=200)
+def test_relative_divergence_scalar_path_matches_reference(r, c, dtype):
+    from repro.verify.metrics import _relative_divergence_core
+
+    with np.errstate(all="ignore"):
+        ref, cand = np.float64(r), dtype(c)
+    got = _relative_divergence_core(ref, cand)
+    want = _divergence_reference(ref, cand)
+    assert got == want or (math.isnan(got) and math.isnan(want))

@@ -80,6 +80,18 @@ class TestGridSpec:
         assert spec.shards == 4
         assert spec.label() == "a,b x DD,GA @ 1e-08"
 
+    def test_fuse_round_trip_and_shard_propagation(self):
+        spec = small_spec(fuse=False)
+        clone = GridSpec.from_json_dict(spec.to_json_dict())
+        assert clone == spec
+        assert all(job.fuse is False for job in clone.jobs())
+        assert all(job.fuse is True for job in small_spec().jobs())
+
+    def test_fuse_defaults_true_for_legacy_payloads(self):
+        payload = small_spec().to_json_dict()
+        del payload["fuse"]  # a spec journaled before the field existed
+        assert GridSpec.from_json_dict(payload).fuse is True
+
     def test_job_record_round_trip(self):
         record = JobRecord(
             job_id="job-0001-aaaa", tenant="alice", spec=small_spec(),
