@@ -12,12 +12,21 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
+import re
 from collections.abc import Iterable, Mapping
-from typing import Iterator
+from typing import Iterator, Union
 
 import numpy as np
 
-__all__ = ["Precision", "PrecisionConfig"]
+__all__ = [
+    "CustomFormat",
+    "Precision",
+    "PrecisionConfig",
+    "PrecisionLike",
+    "get_format",
+    "parse_precision",
+    "precision_rank",
+]
 
 
 class Precision(enum.Enum):
@@ -117,15 +126,220 @@ _ALIASES: dict[str, Precision] = {
 }
 
 
-def _as_precision(value, where: str) -> Precision:
-    """Coerce a user-facing precision spec — a :class:`Precision` or any
-    name :meth:`Precision.from_name` understands (``"fp32"``,
-    ``"double"``, ``"half"``, ``"32"``) — to a :class:`Precision`."""
-    if isinstance(value, str):
-        return Precision.from_name(value)
+#: mantissa-field widths of the built-in IEEE formats (excl. hidden bit)
+_MANTISSA_BITS: dict[Precision, int] = {
+    Precision.HALF: 10,
+    Precision.SINGLE: 23,
+    Precision.DOUBLE: 52,
+}
+
+#: exponent widths paired with their storage precision and mantissa cap
+_STORAGE_BY_EXPONENT: dict[int, Precision] = {
+    8: Precision.SINGLE,
+    11: Precision.DOUBLE,
+}
+
+_MIN_MANTISSA = 2
+
+_FORMAT_RE = re.compile(r"^e(8|11)m([0-9]{1,2})(sr)?$")
+
+
+class CustomFormat:
+    """An emulated floating-point format of configurable mantissa width.
+
+    ``e8m10`` is an 8-bit-exponent format whose values are *stored* in
+    fp32 but carry only 10 explicit mantissa bits: every assignment into
+    a variable of this format rounds the stored value to the nearest
+    representable one (round-to-nearest-even on the truncated mantissa
+    field, VPREC-style — the exponent range and subnormal behaviour of
+    the storage format are kept).  An ``sr`` suffix (``e8m10sr``)
+    selects stochastic rounding with a seeded, replayable RNG instead.
+
+    Instances are interned: :func:`get_format` returns the same object
+    for the same name, and pickling round-trips through the registry, so
+    identity comparisons (as used by :class:`PrecisionConfig`'s
+    canonicalisation) remain valid across processes.
+    """
+
+    __slots__ = ("name", "exponent_bits", "mantissa_bits", "stochastic")
+
+    def __init__(self, exponent_bits: int, mantissa_bits: int, stochastic: bool) -> None:
+        object.__setattr__(self, "exponent_bits", int(exponent_bits))
+        object.__setattr__(self, "mantissa_bits", int(mantissa_bits))
+        object.__setattr__(self, "stochastic", bool(stochastic))
+        object.__setattr__(
+            self,
+            "name",
+            f"e{exponent_bits}m{mantissa_bits}" + ("sr" if stochastic else ""),
+        )
+
+    def __setattr__(self, key, value):
+        raise AttributeError(f"CustomFormat is immutable ({key!r})")
+
+    @property
+    def value(self) -> str:
+        """The canonical name (mirrors :attr:`Precision.value`)."""
+        return self.name
+
+    @property
+    def storage(self) -> Precision:
+        """The built-in precision whose dtype physically holds values."""
+        return _STORAGE_BY_EXPONENT[self.exponent_bits]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The NumPy *storage* dtype (fp32 for e8, fp64 for e11)."""
+        return _DTYPES[self.storage]
+
+    @property
+    def bits(self) -> int:
+        """Modeled width in bits: sign + exponent + explicit mantissa."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def bytes(self) -> int:
+        """Modeled width rounded up to whole bytes."""
+        return (self.bits + 7) // 8
+
+    @property
+    def shift(self) -> int:
+        """Mantissa bits dropped relative to the storage format.  Zero
+        means the format is storage-exact (``e8m23`` ≡ fp32): no
+        rounding happens and runs are byte-identical to the built-in."""
+        return _MANTISSA_BITS[self.storage] - self.mantissa_bits
+
+    def __repr__(self) -> str:
+        return f"CustomFormat({self.name!r})"
+
+    def __reduce__(self):
+        return (get_format, (self.name,))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CustomFormat):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("CustomFormat", self.name))
+
+    # Ordering against both CustomFormat and Precision.  Precision's
+    # comparisons return NotImplemented for non-Precision operands, so
+    # ``Precision.SINGLE < custom`` falls back to the reflected
+    # operators defined here.
+    def __lt__(self, other) -> bool:
+        rank = _comparison_rank(other)
+        if rank is None:
+            return NotImplemented
+        return _comparison_rank(self) < rank
+
+    def __le__(self, other) -> bool:
+        rank = _comparison_rank(other)
+        if rank is None:
+            return NotImplemented
+        return _comparison_rank(self) <= rank
+
+    def __gt__(self, other) -> bool:
+        rank = _comparison_rank(other)
+        if rank is None:
+            return NotImplemented
+        return _comparison_rank(self) > rank
+
+    def __ge__(self, other) -> bool:
+        rank = _comparison_rank(other)
+        if rank is None:
+            return NotImplemented
+        return _comparison_rank(self) >= rank
+
+
+#: anything the configuration machinery accepts as a precision level
+PrecisionLike = Union[Precision, CustomFormat]
+
+#: interned instances, keyed by canonical name
+_FORMATS: dict[str, CustomFormat] = {}
+
+
+def _comparison_rank(value) -> tuple[int, int] | None:
+    """(modeled bits, mantissa bits) — the ordering key shared by the
+    built-in and emulated formats."""
+    if isinstance(value, Precision):
+        return (_BITS[value], _MANTISSA_BITS[value])
+    if isinstance(value, CustomFormat):
+        return (value.bits, value.mantissa_bits)
+    return None
+
+
+def precision_rank(value: PrecisionLike) -> tuple[int, int, int]:
+    """A deterministic total-order key over all precision levels.
+
+    Built-in formats sort *before* an emulated format of equal width
+    (``fp32`` before ``e8m23``) so mixed level lists stay stable."""
+    if isinstance(value, Precision):
+        return (_BITS[value], _MANTISSA_BITS[value], 0)
+    return (value.bits, value.mantissa_bits, 1)
+
+
+def format_names_hint() -> str:
+    """Human-readable summary of every accepted precision spelling,
+    used by unknown-precision error messages across the code base."""
+    builtin = "/".join(p.value for p in Precision)
+    return (
+        f"a built-in precision ({builtin}, or aliases like fp16/fp32/fp64), "
+        f"or an emulated format e8m<{_MIN_MANTISSA}..{_MANTISSA_BITS[Precision.SINGLE]}> / "
+        f"e11m<{_MIN_MANTISSA}..{_MANTISSA_BITS[Precision.DOUBLE]}> "
+        f"with an optional 'sr' suffix for stochastic rounding (e.g. 'e8m10sr')"
+    )
+
+
+def get_format(name: str) -> CustomFormat:
+    """Return the interned :class:`CustomFormat` for ``name``.
+
+    Accepts ``e8m<2..23>`` and ``e11m<2..52>`` with an optional ``sr``
+    suffix; raises :class:`ValueError` for anything else.
+    """
+    key = str(name).strip().lower()
+    cached = _FORMATS.get(key)
+    if cached is not None:
+        return cached
+    match = _FORMAT_RE.match(key)
+    if match is None:
+        raise ValueError(f"unknown precision format {name!r}; expected {format_names_hint()}")
+    exponent_bits = int(match.group(1))
+    mantissa_bits = int(match.group(2))
+    cap = _MANTISSA_BITS[_STORAGE_BY_EXPONENT[exponent_bits]]
+    if not _MIN_MANTISSA <= mantissa_bits <= cap:
+        raise ValueError(
+            f"unknown precision format {name!r}: e{exponent_bits} mantissa width "
+            f"must be in [{_MIN_MANTISSA}, {cap}], got {mantissa_bits}"
+        )
+    fmt = CustomFormat(exponent_bits, mantissa_bits, match.group(3) is not None)
+    # setdefault keeps interning race-free: concurrent first lookups all
+    # end up holding the one registered instance.
+    return _FORMATS.setdefault(key, fmt)
+
+
+def parse_precision(value) -> PrecisionLike:
+    """Parse any precision spec — a :class:`Precision`, a
+    :class:`CustomFormat`, a built-in alias (``"fp32"``, ``"double"``,
+    ``"32"``) or an emulated-format name (``"e8m10"``, ``"e11m40sr"``)."""
+    if isinstance(value, (Precision, CustomFormat)):
+        return value
+    key = str(value).strip().lower()
+    builtin = _ALIASES.get(key)
+    if builtin is not None:
+        return builtin
+    return get_format(key)
+
+
+def _as_precision(value, where: str) -> PrecisionLike:
+    """Coerce a user-facing precision spec — a :class:`Precision`, a
+    :class:`CustomFormat`, or any name :func:`parse_precision`
+    understands (``"fp32"``, ``"double"``, ``"e8m10"``) — to a
+    precision level."""
+    if isinstance(value, (str, Precision, CustomFormat)):
+        return parse_precision(value)
     raise TypeError(
-        f"precision for {where!r} must be a Precision or a precision "
-        f"name string, got {type(value).__name__}"
+        f"precision for {where!r} must be a Precision, CustomFormat or a "
+        f"precision name string, got {type(value).__name__}"
     )
 
 
@@ -138,21 +352,23 @@ class PrecisionConfig(Mapping[str, Precision]):
     FloatSmith-style JSON interchange format.
     """
 
-    __slots__ = ("_assignments", "_default", "_key")
+    __slots__ = ("_assignments", "_default", "_key", "_custom")
 
     def __init__(
         self,
-        assignments: Mapping[str, Precision | str] | Iterable[tuple[str, Precision | str]] = (),
-        default: Precision | str = Precision.DOUBLE,
+        assignments: Mapping[str, PrecisionLike | str] | Iterable[tuple[str, PrecisionLike | str]] = (),
+        default: PrecisionLike | str = Precision.DOUBLE,
     ) -> None:
-        if not isinstance(default, Precision):
+        if not isinstance(default, (Precision, CustomFormat)):
             default = _as_precision(default, "default")
         items = dict(assignments)
         for location, precision in items.items():
-            if not isinstance(precision, Precision):
+            if not isinstance(precision, (Precision, CustomFormat)):
                 items[location] = _as_precision(precision, location)
         # Assignments equal to the default are redundant; dropping them
-        # makes equality and hashing canonical.
+        # makes equality and hashing canonical.  Identity comparison is
+        # valid because Precision members and interned CustomFormats are
+        # both singletons.
         self._assignments = {
             location: precision
             for location, precision in sorted(items.items())
@@ -160,13 +376,21 @@ class PrecisionConfig(Mapping[str, Precision]):
         }
         self._default = default
         self._key = (tuple(self._assignments.items()), default)
+        self._custom = isinstance(default, CustomFormat) or any(
+            isinstance(p, CustomFormat) for p in self._assignments.values()
+        )
 
     @property
-    def default(self) -> Precision:
+    def default(self) -> PrecisionLike:
         """Precision used by locations without an explicit assignment."""
         return self._default
 
-    def precision_of(self, location: str) -> Precision:
+    def uses_custom_formats(self) -> bool:
+        """True when any location (or the default) is an emulated
+        :class:`CustomFormat` — the gate for the quantising runtime."""
+        return self._custom
+
+    def precision_of(self, location: str) -> PrecisionLike:
         """Precision of ``location`` (explicit or default)."""
         return self._assignments.get(location, self._default)
 
@@ -201,9 +425,9 @@ class PrecisionConfig(Mapping[str, Precision]):
         return f"PrecisionConfig({{{body}}}, default={self._default.value})"
 
     # -- derivation ------------------------------------------------------
-    def assign(self, locations: Iterable[str] | str, precision: Precision | str) -> "PrecisionConfig":
+    def assign(self, locations: Iterable[str] | str, precision: PrecisionLike | str) -> "PrecisionConfig":
         """Return a new configuration with ``locations`` set to ``precision``."""
-        if not isinstance(precision, Precision):
+        if not isinstance(precision, (Precision, CustomFormat)):
             precision = _as_precision(precision, "precision")
         if isinstance(locations, str):
             locations = (locations,)
@@ -251,10 +475,10 @@ class PrecisionConfig(Mapping[str, Precision]):
     def from_json_dict(cls, payload: Mapping) -> "PrecisionConfig":
         """Inverse of :meth:`to_json_dict`."""
         try:
-            default = Precision.from_name(payload.get("default", "double"))
+            default = parse_precision(payload.get("default", "double"))
             actions = payload["actions"]
             assignments = {
-                action["location"]: Precision.from_name(action["to_type"])
+                action["location"]: parse_precision(action["to_type"])
                 for action in actions
             }
         except (KeyError, TypeError) as exc:

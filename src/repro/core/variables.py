@@ -22,7 +22,14 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from repro.core.types import Precision, PrecisionConfig
+from repro.core.types import (
+    CustomFormat,
+    Precision,
+    PrecisionConfig,
+    PrecisionLike,
+    parse_precision,
+    precision_rank,
+)
 
 __all__ = ["VariableKind", "Variable", "Cluster", "Granularity", "SearchSpace"]
 
@@ -120,7 +127,8 @@ class SearchSpace:
         variables: Sequence[Variable],
         clusters: Sequence[Cluster],
         granularity: Granularity = Granularity.CLUSTER,
-        levels: Sequence[Precision] = (Precision.SINGLE, Precision.DOUBLE),
+        levels: Sequence[PrecisionLike] = (Precision.SINGLE, Precision.DOUBLE),
+        width_domains: Mapping[str, Sequence[PrecisionLike]] | None = None,
     ) -> None:
         self._variables = {v.uid: v for v in variables}
         if len(self._variables) != len(variables):
@@ -139,12 +147,36 @@ class SearchSpace:
         if uncovered:
             raise ValueError(f"variables not covered by any cluster: {sorted(uncovered)}")
         self.granularity = granularity
-        self.levels = tuple(sorted(set(levels), key=lambda p: p.bits))
+        self.levels = tuple(
+            sorted({parse_precision(p) for p in levels}, key=precision_rank)
+        )
         if Precision.DOUBLE not in self.levels:
             raise ValueError("the search space must include the default double precision")
         self._cluster_of = {
             uid: cluster.cid for cluster in clusters for uid in cluster.members
         }
+        # Optional per-location precision domains (the arbitrary-width
+        # extension): a location listed here draws its choices from its
+        # own domain instead of the shared ``levels``.  Keys are
+        # locations at the *active* granularity.
+        self._width_domains: dict[str, tuple[PrecisionLike, ...]] = {}
+        if width_domains:
+            known = set(self.locations())
+            for location, domain in width_domains.items():
+                if location not in known:
+                    raise ValueError(
+                        f"width domain for unknown location {location!r} "
+                        f"at {granularity.value} granularity"
+                    )
+                resolved = tuple(
+                    sorted({parse_precision(p) for p in domain}, key=precision_rank)
+                )
+                if Precision.DOUBLE not in resolved:
+                    raise ValueError(
+                        f"width domain for {location!r} must include the "
+                        "default double precision"
+                    )
+                self._width_domains[location] = resolved
 
     # -- introspection ----------------------------------------------------
     @property
@@ -186,13 +218,44 @@ class SearchSpace:
         """The same space viewed at another granularity."""
         if granularity is self.granularity:
             return self
+        if self._width_domains:
+            raise ValueError(
+                "cannot change granularity with per-location width domains "
+                "set; build the domains at the target granularity instead"
+            )
         return SearchSpace(
             self.variables, self.clusters, granularity=granularity, levels=self.levels
         )
 
+    def domain(self, location: str) -> tuple[PrecisionLike, ...]:
+        """Precision choices available at ``location`` — its width
+        domain when one was declared, the shared ``levels`` otherwise."""
+        return self._width_domains.get(location, self.levels)
+
+    @property
+    def width_domains(self) -> Mapping[str, tuple[PrecisionLike, ...]]:
+        return dict(self._width_domains)
+
+    def with_width_domains(
+        self, domains: Mapping[str, Sequence[PrecisionLike]]
+    ) -> "SearchSpace":
+        """This space with per-location precision domains attached."""
+        return SearchSpace(
+            self.variables,
+            self.clusters,
+            granularity=self.granularity,
+            levels=self.levels,
+            width_domains=domains,
+        )
+
     def size(self) -> int:
-        """Number of raw configurations: ``p ** loc`` (paper, Section II)."""
-        return len(self.levels) ** len(self.locations())
+        """Number of raw configurations: ``p ** loc`` (paper, Section II)
+        — or, with per-location width domains, the product of the
+        per-location domain sizes."""
+        size = 1
+        for location in self.locations():
+            size *= len(self.domain(location))
+        return size
 
     def restrict(
         self,
@@ -256,6 +319,11 @@ class SearchSpace:
                     "freeze must cover whole merged clusters; got a merge "
                     f"group only partially frozen ({sorted(overlap)})"
                 )
+        if self._width_domains:
+            raise ValueError(
+                "cannot restrict a space with per-location width domains; "
+                "restrict first, then attach domains with with_width_domains()"
+            )
         variables = [v for uid, v in self._variables.items() if uid not in frozen]
         clusters = [
             Cluster(min(members), frozenset(members))
@@ -267,14 +335,14 @@ class SearchSpace:
         )
 
     # -- configuration construction ---------------------------------------
-    def config_from_choices(self, choices: Mapping[str, Precision]) -> PrecisionConfig:
+    def config_from_choices(self, choices: Mapping[str, PrecisionLike]) -> PrecisionConfig:
         """Translate per-location choices into a per-variable config.
 
         At cluster granularity each choice fans out to every member of
         the cluster; at variable granularity choices apply directly
         (and may therefore produce non-compiling configurations).
         """
-        assignments: dict[str, Precision] = {}
+        assignments: dict[str, PrecisionLike] = {}
         for location, precision in choices.items():
             if self.granularity is Granularity.CLUSTER:
                 try:
@@ -289,17 +357,20 @@ class SearchSpace:
                 assignments[location] = precision
         return PrecisionConfig(assignments)
 
-    def uniform_config(self, precision: Precision | str) -> PrecisionConfig:
+    def uniform_config(self, precision: PrecisionLike | str) -> PrecisionConfig:
         """Every variable at ``precision`` (e.g. the all-single program).
 
-        Accepts a :class:`Precision` or any name
-        :meth:`Precision.from_name` understands (``"fp32"``, ``"half"``).
+        Accepts a :class:`Precision`, a :class:`CustomFormat`, or any
+        name :func:`~repro.core.types.parse_precision` understands
+        (``"fp32"``, ``"half"``, ``"e8m10"``, ``"e11m40sr"``).  Unknown
+        names raise with the full list of valid built-in and emulated
+        format names.
         """
-        if not isinstance(precision, Precision):
-            precision = Precision.from_name(precision)
+        if not isinstance(precision, (Precision, CustomFormat)):
+            precision = parse_precision(precision)
         return PrecisionConfig({uid: precision for uid in self._variables})
 
-    def lower(self, locations: Iterable[str] | str, precision: Precision = Precision.SINGLE) -> PrecisionConfig:
+    def lower(self, locations: Iterable[str] | str, precision: PrecisionLike = Precision.SINGLE) -> PrecisionConfig:
         """Configuration with ``locations`` (at the active granularity)
         lowered to ``precision`` and everything else at default."""
         if isinstance(locations, str):

@@ -10,6 +10,7 @@ Regenerates the paper's evaluation artifacts::
     mixpbench-experiments fig2 fig3         # figure data series
     mixpbench-experiments prune-stats       # Table II before/after --prune
     mixpbench-experiments shadow-stats      # unguided vs --order shadow
+    mixpbench-experiments format-stats      # BW bisection vs built-in dtypes
     mixpbench-experiments ext-half ext-hrc  # extensions beyond the paper
     mixpbench-experiments all               # everything
 
@@ -25,8 +26,8 @@ import time
 
 from repro.experiments import (
     compare, ext_convergence, ext_half, ext_hrc, ext_machines,
-    fig2, fig3, insights, prune_stats, shadow_stats, table1, table2,
-    table3, table4, table5,
+    fig2, fig3, format_stats, insights, prune_stats, shadow_stats,
+    table1, table2, table3, table4, table5,
 )
 from repro.experiments.context import ExperimentContext
 
@@ -34,7 +35,7 @@ __all__ = ["main", "run_experiment", "EXPERIMENTS"]
 
 EXPERIMENTS = (
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig3",
-    "insights", "compare", "prune-stats", "shadow-stats",
+    "insights", "compare", "prune-stats", "shadow-stats", "format-stats",
     "ext-half", "ext-hrc", "ext-machines", "ext-convergence",
 )
 
@@ -63,6 +64,8 @@ def run_experiment(name: str, ctx: ExperimentContext, results_dir: str) -> str:
         return prune_stats.run(results_dir)
     if name == "shadow-stats":
         return shadow_stats.run(results_dir)
+    if name == "format-stats":
+        return format_stats.run(results_dir)
     if name == "ext-half":
         return ext_half.run(results_dir)
     if name == "ext-hrc":

@@ -31,7 +31,9 @@ from repro.harness.reporting import (
     format_speedup, format_table,
 )
 from repro.harness.runner import Harness
-from repro.search.registry import available_strategies, make_strategy
+from repro.search.registry import (
+    available_strategies, make_strategy, strategy_kwargs,
+)
 from repro.verify.quality import QualitySpec
 
 __all__ = ["main", "build_parser"]
@@ -89,6 +91,15 @@ def _add_order_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_rounding_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--rounding", choices=["nearest", "stochastic"], default="nearest",
+        help="store-rounding mode for emulated e8m*/e11m* formats "
+             "(consumed by the BW bit-width bisection strategy; "
+             "default: nearest, i.e. round-to-nearest-even)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mixpbench",
@@ -143,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict each search space with the static dataflow pruner",
     )
     _add_order_flag(run)
+    _add_rounding_flag(run)
     _add_execution_flags(run)
 
     search = sub.add_parser("search", help="run one mixed-precision search")
@@ -168,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict the search space with the static dataflow pruner",
     )
     _add_order_flag(search)
+    _add_rounding_flag(search)
     _add_execution_flags(search)
 
     grid = sub.add_parser(
@@ -202,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict every job's search space with the static dataflow pruner",
     )
     _add_order_flag(grid)
+    _add_rounding_flag(grid)
     grid.add_argument("--output-dir", default="results")
     _add_execution_flags(grid)
 
@@ -216,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument(
         "--half", action="store_true",
         help="also propagate fp16 shadows (fp32 is always on)",
+    )
+    sensitivity.add_argument(
+        "--replica", action="append", default=None, metavar="FORMAT",
+        help="extra shadow replica precision, e.g. an emulated format "
+             "like e8m10 (repeatable; see docs/precision-formats.md)",
     )
     sensitivity.add_argument(
         "--no-recommend", action="store_true",
@@ -310,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict every shard's search space with the static pruner",
     )
     _add_order_flag(submit)
+    _add_rounding_flag(submit)
     _add_fuse_flag(submit)
     submit.add_argument(
         "--ack-timeout", type=float, default=30.0, metavar="SECONDS",
@@ -447,6 +467,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         prune=args.prune,
         shadow=args.order == "shadow",
         fuse=not args.no_fuse,
+        rounding=args.rounding,
     )
     for report in harness.run_file(args.config):
         print(f"\n{report.name} ({report.metric} <= {report.threshold:g})")
@@ -524,7 +545,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
             space_override=space_override, prune_info=prune_info,
             location_order=location_order, shadow_info=shadow_info,
         )
-        outcome = make_strategy(args.algorithm).run(evaluator)
+        strategy = make_strategy(
+            args.algorithm,
+            **strategy_kwargs(args.algorithm, rounding=args.rounding),
+        )
+        outcome = strategy.run(evaluator)
     finally:
         executor.close()
         if trace is not None:
@@ -579,6 +604,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         prune=args.prune,
         shadow=args.order == "shadow",
         fuse=not args.no_fuse,
+        rounding=args.rounding,
     )
     results = run_grid(
         jobs, workers=args.grid_workers,
@@ -644,6 +670,7 @@ def _submit_spec(args: argparse.Namespace):
         prune=args.prune,
         shadow=args.order == "shadow",
         fuse=not args.no_fuse,
+        rounding=args.rounding,
     )
 
 
@@ -763,7 +790,9 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.shadow import recommend_and_verify, run_shadow_analysis
 
     bench = get_benchmark(args.benchmark)
-    report = run_shadow_analysis(bench, include_half=args.half)
+    report = run_shadow_analysis(
+        bench, include_half=args.half, replicas=tuple(args.replica or ()),
+    )
     print(report.render())
     if args.save:
         report.save(args.save)
@@ -795,10 +824,10 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(name: str, precision_name: str) -> int:
-    from repro.core.types import Precision, PrecisionConfig
+    from repro.core.types import Precision, PrecisionConfig, parse_precision
 
     bench = get_benchmark(name)
-    precision = Precision.from_name(precision_name)
+    precision = parse_precision(precision_name)
     if precision is Precision.DOUBLE:
         config = PrecisionConfig()
     else:

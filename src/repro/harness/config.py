@@ -39,7 +39,7 @@ __all__ = ["AnalysisSpec", "HarnessConfig", "load_config", "parse_config"]
 _TOP_KEYS = {
     "benchmark", "build", "build_dir", "clean", "metric", "threshold",
     "runs", "time_limit_hours", "analysis", "args", "bin", "copy", "output",
-    "executor", "workers", "cache", "prune", "shadow", "fuse",
+    "executor", "workers", "cache", "prune", "shadow", "fuse", "rounding",
 }
 
 _EXECUTOR_NAMES = ("serial", "thread", "process")
@@ -80,6 +80,9 @@ class HarnessConfig:
     shadow: bool | None = None
     #: trace-fusion fast path toggle; None inherits
     fuse: bool | None = None
+    #: emulated-format store-rounding mode ("nearest"/"stochastic");
+    #: None inherits
+    rounding: str | None = None
 
     def analysis(self, identifier: str) -> AnalysisSpec:
         for spec in self.analyses:
@@ -188,6 +191,15 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
             f"{source}: {name}: fuse must be a boolean"
         )
 
+    rounding = body.get("rounding")
+    if rounding is not None:
+        rounding = str(rounding).strip().lower()
+        if rounding not in ("nearest", "stochastic"):
+            raise HarnessConfigError(
+                f"{source}: {name}: rounding must be 'nearest' or "
+                f"'stochastic', got {rounding!r}"
+            )
+
     analyses = []
     for identifier, spec in (body.get("analysis") or {}).items():
         if not isinstance(spec, Mapping) or "name" not in spec:
@@ -217,4 +229,5 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
         prune=prune,
         shadow=shadow,
         fuse=fuse,
+        rounding=rounding,
     )

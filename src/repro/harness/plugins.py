@@ -29,6 +29,7 @@ from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.results import SearchOutcome
 from repro.errors import PluginError
 from repro.search.registry import make_strategy
+from repro.search.registry import strategy_kwargs as _registry_kwargs
 from repro.verify.quality import QualitySpec
 
 __all__ = [
@@ -60,6 +61,8 @@ class DeployedApp:
     prune: bool = False
     #: order search locations by shadow-run sensitivity
     shadow: bool = False
+    #: emulated-format store-rounding mode ("nearest"/"stochastic")
+    rounding: str = "nearest"
 
 
 @dataclass
@@ -93,6 +96,7 @@ class FloatSmithPlugin(AnalysisPlugin):
         max_evaluations = extra_args.pop("max_evaluations", None)
         prune = bool(extra_args.pop("prune", False)) or app.prune
         shadow = bool(extra_args.pop("shadow", False)) or app.shadow
+        rounding = str(extra_args.pop("rounding", "") or app.rounding)
         if extra_args:
             raise PluginError(
                 f"floatSmith: unknown extra_args {sorted(extra_args)}"
@@ -128,6 +132,8 @@ class FloatSmithPlugin(AnalysisPlugin):
             location_order=location_order,
             shadow_info=shadow_info,
         )
+        for key, value in _registry_kwargs(algorithm, rounding=rounding).items():
+            strategy_kwargs.setdefault(key, value)
         strategy = make_strategy(algorithm, **strategy_kwargs)
         outcome = strategy.run(evaluator)
 

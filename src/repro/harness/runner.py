@@ -117,6 +117,7 @@ class Harness:
         prune: bool = False,
         shadow: bool = False,
         fuse: bool = True,
+        rounding: str = "nearest",
     ) -> None:
         self.output_dir = Path(output_dir)
         self.executor = executor
@@ -129,6 +130,7 @@ class Harness:
         self.prune = prune
         self.shadow = shadow
         self.fuse = fuse
+        self.rounding = rounding
 
     def run_file(self, path: str | Path) -> list[HarnessReport]:
         """Run every entry of a YAML configuration file."""
@@ -168,6 +170,7 @@ class Harness:
             trace=trace,
             prune=entry.prune if entry.prune is not None else self.prune,
             shadow=entry.shadow if entry.shadow is not None else self.shadow,
+            rounding=entry.rounding if entry.rounding is not None else self.rounding,
         )
         # Entry-scoped fusion toggle: bit-identical either way, so
         # forcing it off (and restoring the previous force afterwards)

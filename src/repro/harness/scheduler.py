@@ -37,7 +37,7 @@ from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.results import SearchOutcome
 from repro.runtime import fuse as _fuse
 from repro.runtime.cache import EvaluationCache
-from repro.search.registry import canonical_name, make_strategy
+from repro.search.registry import canonical_name, make_strategy, strategy_kwargs
 from repro.verify.quality import QualitySpec
 
 __all__ = ["SearchJob", "JobResult", "run_grid", "run_shard", "grid_jobs"]
@@ -80,6 +80,10 @@ class SearchJob:
     #: in-process executions (process-pool workers follow the
     #: ``MIXPBENCH_FUSE`` environment they inherit instead)
     fuse: bool = True
+    #: store-rounding mode for emulated formats ("nearest" or
+    #: "stochastic"); consumed by the bit-width bisection strategy,
+    #: ignored by strategies that never emit custom formats
+    rounding: str = "nearest"
 
     def label(self) -> str:
         return f"{self.program}/{canonical_name(self.algorithm)}@{self.threshold:g}"
@@ -138,6 +142,7 @@ def grid_jobs(
     prune: bool = False,
     shadow: bool = False,
     fuse: bool = True,
+    rounding: str = "nearest",
 ) -> list[SearchJob]:
     """The full cross product the paper's evaluation runs."""
     return [
@@ -155,6 +160,7 @@ def grid_jobs(
             prune=prune,
             shadow=shadow,
             fuse=fuse,
+            rounding=rounding,
         )
         for program in programs
         for algorithm in algorithms
@@ -231,7 +237,9 @@ def run_shard(
                 location_order=location_order,
                 shadow_info=shadow_info,
             )
-            strategy = make_strategy(job.algorithm)
+            strategy = make_strategy(
+                job.algorithm, **strategy_kwargs(job.algorithm, rounding=job.rounding)
+            )
             result = JobResult(job=job, outcome=strategy.run(evaluator))
         finally:
             batch_executor.close()

@@ -118,6 +118,12 @@ class MachineModel:
         bw = self.bandwidth(max(profile.peak_footprint, 1))
         total_ops = sum(profile.ops.values())
         total_bytes = profile.bytes_read + profile.bytes_written
+        # Emulated sub-storage-width formats move proportionally fewer
+        # bytes per element; the scale is exactly 1.0 (and the multiply
+        # skipped, keeping times bit-identical) for ordinary runs.
+        scale = profile.traffic_scale()
+        if scale != 1.0:
+            total_bytes *= scale
         elapsed = 0.0
         for (opclass, dtype), n in profile.ops.items():
             compute = n / self._compute_rate(opclass, dtype)
@@ -136,6 +142,9 @@ class MachineModel:
         bw = self.bandwidth(max(profile.peak_footprint, 1))
         total_ops = sum(profile.ops.values())
         total_bytes = profile.bytes_read + profile.bytes_written
+        scale = profile.traffic_scale()
+        if scale != 1.0:
+            total_bytes *= scale
         compute_bound = 0.0
         memory_bound = 0.0
         for (opclass, dtype), n in profile.ops.items():

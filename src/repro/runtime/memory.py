@@ -25,12 +25,19 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.core.types import Precision, PrecisionConfig
+from repro.core.types import CustomFormat, Precision, PrecisionConfig
 from repro.errors import MixPBenchError, UnknownVariableError
 from repro.runtime import fuse as _fuse
 from repro.runtime import mparray as _mparray
-from repro.runtime.mparray import MPArray, unwrap
+from repro.runtime.mparray import MPArray, QuantizedMPArray, unwrap
 from repro.runtime.profiler import Profile
+from repro.runtime.quantize import (
+    QuantSpec,
+    modeled_nbytes,
+    quantize_array,
+    quantize_scalar,
+    spec_for,
+)
 from repro.runtime.rngcache import ReplayGenerator, RNGReplayCache
 
 __all__ = ["Workspace"]
@@ -93,6 +100,16 @@ class Workspace:
         self._arrays: dict[str, MPArray] = {}
         self._strict = strict
         self._dtypes: dict[str, np.dtype] = {}
+        # Emulated-format support.  ``_has_custom`` is the single gate:
+        # when false (every pre-existing configuration) none of the
+        # quantisation code below runs and declarations take the exact
+        # pre-format path.
+        self._seed = seed
+        self._has_custom = self.config.uses_custom_formats()
+        self._qspecs: dict[str, QuantSpec | None] = {}
+        #: modeled (emulated-width) nbytes per live array, kept only for
+        #: arrays whose modeled width differs from storage
+        self._modeled: dict[str, int] = {}
 
     # -- name resolution ---------------------------------------------------
     def resolve(self, name: str) -> str:
@@ -195,6 +212,8 @@ class Workspace:
             else:
                 data = np.zeros(shape, dtype=dtype)
         profile = self.profile
+        if self._has_custom:
+            return self._finish_custom_array(name, data, profile)
         arr = MPArray.__new__(MPArray)
         arr._data = data
         arr._profile = profile
@@ -205,6 +224,47 @@ class Workspace:
         profile.track_alloc(data.nbytes)
         return arr
 
+    def qspec_of(self, name: str) -> QuantSpec | None:
+        """Quantisation spec for a bare name; ``None`` for built-in
+        precisions and storage-exact formats (e8m23/e11m52)."""
+        try:
+            return self._qspecs[name]
+        except KeyError:
+            uid = self.resolve(name)
+            spec = self._qspecs[name] = spec_for(
+                self.config.precision_of(uid), self._seed, uid
+            )
+            return spec
+
+    def _finish_custom_array(self, name: str, data: np.ndarray, profile: Profile) -> MPArray:
+        """Declaration tail for workspaces with emulated formats live:
+        quantise the initial contents, wrap stores, and account the
+        modeled (emulated-width) footprint."""
+        spec = self.qspec_of(name)
+        if spec is not None:
+            quantize_array(data, spec)
+            arr = MPArray.__new__(QuantizedMPArray)
+            arr._data = data
+            arr._profile = profile
+            arr._qspec = spec
+        else:
+            arr = MPArray.__new__(MPArray)
+            arr._data = data
+            arr._profile = profile
+        previous = self._arrays.get(name)
+        if previous is not None:
+            profile.track_free(previous.nbytes, self._modeled.pop(name, None))
+        precision = self.config.precision_of(self.resolve(name))
+        if isinstance(precision, CustomFormat):
+            modeled = modeled_nbytes(precision, data.size)
+        else:
+            modeled = data.nbytes
+        self._arrays[name] = arr
+        profile.track_alloc(data.nbytes, modeled)
+        if modeled != data.nbytes:
+            self._modeled[name] = modeled
+        return arr
+
     def scalar(self, name: str, value: float) -> np.generic:
         """Declare a typed scalar variable (a C local declaration).
 
@@ -213,7 +273,12 @@ class Workspace:
         double math, a float scalar keeps float expressions narrow.
         """
         dtype = self.dtype_of(name)
-        return dtype.type(unwrap(value))
+        result = dtype.type(unwrap(value))
+        if self._has_custom:
+            spec = self.qspec_of(name)
+            if spec is not None:
+                result = quantize_scalar(result, spec)
+        return result
 
     def param(self, name: str, value: Any) -> Any:
         """Declare a typed function parameter.
@@ -234,7 +299,12 @@ class Workspace:
                     "should have been rejected as non-compilable"
                 )
             return value
-        return dtype.type(unwrap(value))
+        result = dtype.type(unwrap(value))
+        if self._has_custom:
+            spec = self.qspec_of(name)
+            if spec is not None:
+                result = quantize_scalar(result, spec)
+        return result
 
     # -- bookkeeping -----------------------------------------------------------
     def get(self, name: str) -> MPArray:
@@ -248,12 +318,15 @@ class Workspace:
         """Free a named array (drops it from the modeled footprint)."""
         arr = self._arrays.pop(name, None)
         if arr is not None:
-            self.profile.track_free(arr.nbytes)
+            self.profile.track_free(arr.nbytes, self._modeled.pop(name, None))
 
     @property
     def live_bytes(self) -> int:
         """Current modeled footprint of named arrays."""
-        return sum(arr.nbytes for arr in self._arrays.values())
+        return sum(
+            self._modeled.get(name, arr.nbytes)
+            for name, arr in self._arrays.items()
+        )
 
     def declared_arrays(self) -> tuple[str, ...]:
         return tuple(self._arrays)

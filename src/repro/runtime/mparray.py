@@ -47,10 +47,14 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.runtime.profiler import OpClass, Profile, opclass_for_ufunc
+from repro.runtime.quantize import (
+    quantize_array as _quantize_array,
+    quantize_scalar as _quantize_scalar,
+)
 
 __all__ = [
-    "MPArray", "unwrap", "wrap", "reference_recording", "set_reference_mode",
-    "DIRECT_OPERATOR_NAMES",
+    "MPArray", "QuantizedMPArray", "unwrap", "wrap", "reference_recording",
+    "set_reference_mode", "DIRECT_OPERATOR_NAMES",
 ]
 
 _FLOAT64 = np.dtype(np.float64)
@@ -362,6 +366,8 @@ class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
                     tracer.foreign()
             result = getattr(ufunc, method)(*raw_inputs)
             self._record_ufunc(ufunc, method, raw_inputs, result)
+            if method == "at" and isinstance(inputs[0], QuantizedMPArray):
+                inputs[0]._quantize_storage()
 
         profile = self._profile
         if isinstance(result, np.ndarray):
@@ -387,10 +393,23 @@ class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
 
         result = getattr(ufunc, method)(*raw_inputs, **kwargs)
         self._record_ufunc(ufunc, method, raw_inputs, result)
+        if out is not None:
+            # ``out=`` writes into variable storage directly (this is
+            # also how the operator mixin implements ``+=`` etc.); any
+            # emulated-format target must re-round what was written.
+            for target in (out if isinstance(out, tuple) else (out,)):
+                if isinstance(target, QuantizedMPArray):
+                    target._quantize_storage()
 
         if isinstance(result, tuple):
             return tuple(wrap(part, self._profile) for part in result)
         if out is not None and out_was_wrapped and isinstance(result, np.ndarray):
+            # Hand back the caller's own wrapper (the mixin's in-place
+            # operators rebind their target to this return value, and a
+            # QuantizedMPArray must stay quantised through ``x += y``).
+            for target in (out if isinstance(out, tuple) else (out,)):
+                if isinstance(target, MPArray) and target._data is result:
+                    return target
             return MPArray(result, self._profile)
         return wrap(result, self._profile)
 
@@ -713,6 +732,107 @@ class MPArray(np.lib.mixins.NDArrayOperatorsMixin):
 #: trip (the isinstance guard in ``__init__`` is for external callers;
 #: internal sites always hold an ndarray).
 _MP_NEW = MPArray.__new__
+
+
+class QuantizedMPArray(MPArray):
+    """Variable storage held in an emulated
+    :class:`~repro.core.types.CustomFormat`: every store re-rounds the
+    written region to the format's mantissa width (see
+    :mod:`repro.runtime.quantize`).
+
+    Only the *storage* of a declared variable is quantised — expression
+    temporaries run at the storage dtype's full width, matching the
+    compute model of hardware with narrow memory formats and wide
+    registers.  All store sites (``__setitem__``, ``fill``, ``out=``,
+    ``ufunc.at``, mutating ``__array_function__`` calls) already break
+    fused regions via ``tracer.foreign()`` on the base class, so the
+    extra rounding is structurally invisible to trace fusion: fused and
+    interpreted emulated runs are bit-identical by construction.
+
+    Views of quantised storage (slices, reshapes, transposes) are
+    promoted back to :class:`QuantizedMPArray` so stores through them
+    keep rounding; gathered copies and arithmetic results are plain
+    :class:`MPArray`.
+    """
+
+    __slots__ = ("_qspec",)
+
+    def _quantize_storage(self) -> None:
+        """Re-round the whole backing buffer.  Idempotent for elements
+        that were not just written: their mantissa tail is already zero,
+        so nearest rounding is a no-op and stochastic rounding never
+        rounds up (the round-up probability is ``tail / 2**s``)."""
+        _quantize_array(self._data, self._qspec)
+
+    def _requantize_key(self, key: Any) -> None:
+        raw_key = _unwrap_tree(key)
+        data = self._data
+        if _is_basic_index(raw_key):
+            target = data[raw_key]
+            if isinstance(target, np.ndarray):
+                _quantize_array(target, self._qspec)
+            else:
+                data[raw_key] = _quantize_scalar(target, self._qspec)
+        else:
+            gathered = data[raw_key]
+            if isinstance(gathered, np.ndarray):
+                _quantize_array(gathered, self._qspec)
+                data[raw_key] = gathered
+            else:
+                data[raw_key] = _quantize_scalar(gathered, self._qspec)
+
+    # ``MPArray.__setitem__`` is looked up at call time on purpose: it
+    # is a class attribute that reference mode swaps, and the swap must
+    # keep applying under the subclass.
+    def __setitem__(self, key: Any, value: Any) -> None:
+        MPArray.__setitem__(self, key, value)
+        self._requantize_key(key)
+
+    def fill(self, value: Any) -> None:
+        MPArray.fill(self, value)
+        _quantize_array(self._data, self._qspec)
+
+    def __array_function__(self, func, types, args, kwargs):
+        out = kwargs.get("out") if kwargs else None
+        result = MPArray.__array_function__(self, func, types, args, kwargs)
+        if func in _MUTATING_FUNCTIONS and args and isinstance(args[0], QuantizedMPArray):
+            args[0]._quantize_storage()
+        if out is not None:
+            for target in (out if isinstance(out, tuple) else (out,)):
+                if isinstance(target, QuantizedMPArray):
+                    target._quantize_storage()
+        return result
+
+    def _adopt(self, result):
+        """Promote views of this variable's storage so stores through
+        them keep quantising; pass anything else through unchanged."""
+        if type(result) is MPArray and np.may_share_memory(result._data, self._data):
+            view = _MP_NEW(QuantizedMPArray)
+            view._data = result._data
+            view._profile = result._profile
+            view._qspec = self._qspec
+            return view
+        return result
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._adopt(MPArray.__getitem__(self, key))
+
+    def reshape(self, *shape) -> "MPArray":
+        return self._adopt(MPArray.reshape(self, *shape))
+
+    def ravel(self) -> "MPArray":
+        return self._adopt(MPArray.ravel(self))
+
+    def transpose(self, *axes) -> "MPArray":
+        return self._adopt(MPArray.transpose(self, *axes))
+
+    @property
+    def T(self) -> "MPArray":
+        return self._adopt(MPArray(self._data.T, self._profile))
+
+    def __repr__(self) -> str:
+        return f"QuantizedMPArray({self._data!r}, format={self._qspec.fmt.name!r})"
+
 
 _CONTAINERS = (tuple, list, dict)
 

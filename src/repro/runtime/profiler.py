@@ -102,6 +102,7 @@ class Profile:
     __slots__ = (
         "ops", "bytes_read", "bytes_written", "cast_elements",
         "gather_elements", "ufunc_calls", "io_bytes", "peak_footprint",
+        "alloc_storage_bytes", "alloc_modeled_bytes",
         "_live_footprint", "fuse",
     )
 
@@ -115,6 +116,8 @@ class Profile:
         ufunc_calls: int = 0,
         io_bytes: float = 0.0,
         peak_footprint: int = 0,
+        alloc_storage_bytes: float = 0.0,
+        alloc_modeled_bytes: float = 0.0,
     ) -> None:
         self.ops = {} if ops is None else dict(ops)
         self.bytes_read = bytes_read
@@ -124,6 +127,12 @@ class Profile:
         self.ufunc_calls = ufunc_calls
         self.io_bytes = io_bytes
         self.peak_footprint = peak_footprint
+        # Cumulative workspace allocations: the physical (storage-dtype)
+        # bytes and the emulated-width bytes.  They differ only when a
+        # CustomFormat narrower than its storage dtype is live; their
+        # ratio is the machine model's traffic discount.
+        self.alloc_storage_bytes = alloc_storage_bytes
+        self.alloc_modeled_bytes = alloc_modeled_bytes
         self._live_footprint = 0
         # Optional trace-fusion recorder (repro.runtime.fuse).  The
         # workspace installs one per execution; ``None`` means every op
@@ -165,6 +174,8 @@ class Profile:
             and self.ufunc_calls == other.ufunc_calls
             and self.io_bytes == other.io_bytes
             and self.peak_footprint == other.peak_footprint
+            and self.alloc_storage_bytes == other.alloc_storage_bytes
+            and self.alloc_modeled_bytes == other.alloc_modeled_bytes
         )
 
     def record_op(
@@ -218,13 +229,34 @@ class Profile:
         self.io_bytes += nbytes
 
     # -- footprint tracking (driven by the Workspace) ---------------------
-    def track_alloc(self, nbytes: int) -> None:
-        self._live_footprint += nbytes
+    def track_alloc(self, nbytes: int, modeled: int | None = None) -> None:
+        """Record an allocation.  ``modeled`` is the emulated-width
+        footprint when the variable's format is narrower than its
+        storage dtype; it drives the cache-tier footprint while
+        ``nbytes`` stays the physical allocation size."""
+        if modeled is None:
+            modeled = nbytes
+        self._live_footprint += modeled
         if self._live_footprint > self.peak_footprint:
             self.peak_footprint = self._live_footprint
+        self.alloc_storage_bytes += nbytes
+        self.alloc_modeled_bytes += modeled
 
-    def track_free(self, nbytes: int) -> None:
-        self._live_footprint = max(0, self._live_footprint - nbytes)
+    def track_free(self, nbytes: int, modeled: int | None = None) -> None:
+        if modeled is None:
+            modeled = nbytes
+        self._live_footprint = max(0, self._live_footprint - modeled)
+
+    def traffic_scale(self) -> float:
+        """Ratio of emulated to physical allocation width, applied by
+        the machine model to memory traffic.  Exactly 1.0 unless a
+        narrower-than-storage CustomFormat allocated memory."""
+        if (
+            self.alloc_modeled_bytes == self.alloc_storage_bytes
+            or self.alloc_storage_bytes <= 0
+        ):
+            return 1.0
+        return self.alloc_modeled_bytes / self.alloc_storage_bytes
 
     # -- combination -------------------------------------------------------
     def merge(self, other: "Profile") -> None:
@@ -238,6 +270,8 @@ class Profile:
         self.ufunc_calls += other.ufunc_calls
         self.io_bytes += other.io_bytes
         self.peak_footprint = max(self.peak_footprint, other.peak_footprint)
+        self.alloc_storage_bytes += other.alloc_storage_bytes
+        self.alloc_modeled_bytes += other.alloc_modeled_bytes
 
     def total_flops(self) -> float:
         """Total floating-point element operations (all classes but INT)."""
@@ -262,4 +296,16 @@ class Profile:
             "ufunc_calls": self.ufunc_calls,
             "io_bytes": self.io_bytes,
             "peak_footprint": self.peak_footprint,
+            # Only surfaced when an emulated format actually narrowed an
+            # allocation, so summaries of ordinary runs (and of
+            # storage-exact formats like e8m23) stay byte-identical to
+            # the pre-format era.
+            **(
+                {
+                    "alloc_storage_bytes": self.alloc_storage_bytes,
+                    "alloc_modeled_bytes": self.alloc_modeled_bytes,
+                }
+                if self.alloc_modeled_bytes != self.alloc_storage_bytes
+                else {}
+            ),
         }

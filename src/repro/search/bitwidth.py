@@ -1,0 +1,149 @@
+"""Bit-width bisection search (BW) — arbitrary-mantissa extension.
+
+The paper's search strategies choose between the three hardware
+precisions.  With emulated formats (``e8m<2..23>`` / ``e11m<2..52>``,
+see :mod:`repro.core.types`) the per-location decision becomes *how
+many mantissa bits* a location needs, and the natural algorithm is a
+binary search over the width axis:
+
+1. Walk the locations at cluster granularity, most sensitive first
+   when a shadow ordering is attached (``--order shadow``), in the
+   canonical sorted order otherwise.
+2. For each location, first try the widest emulated width (``e8m23``,
+   numerically identical to fp32 storage).  If even that fails
+   verification the location stays at double — the same "high set"
+   outcome delta debugging reaches, paid with one trial.
+3. Otherwise bisect the mantissa width downward: the invariant is that
+   ``hi`` always verifies, so ``log2`` trials find the minimal passing
+   width for the location, with every trial carrying the widths
+   already fixed for earlier locations (greedy composition, so the
+   final configuration is exactly the last passing trial).
+
+The result is a per-location minimal-width configuration whose modeled
+footprint is usually well below the best all-{fp16,fp32,fp64}
+configuration at the same verified quality bound (see
+``results/format_stats.csv``).
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.types import CustomFormat, PrecisionConfig, PrecisionLike, get_format
+from repro.core.variables import Granularity
+from repro.errors import MixPBenchError
+from repro.search.base import SearchStrategy
+
+__all__ = ["BitWidthSearch", "emulated_domain"]
+
+#: mantissa bits of the storage type backing each emulated exponent width
+_STORAGE_MANTISSA = {8: 23, 11: 52}
+
+ROUNDING_MODES = ("nearest", "stochastic")
+
+
+def emulated_domain(
+    exponent_bits: int = 8,
+    min_mantissa: int = 2,
+    rounding: str = "nearest",
+) -> tuple[PrecisionLike, ...]:
+    """The width domain BW searches for one location: every emulated
+    mantissa width from ``min_mantissa`` up to the storage width, plus
+    the double fallback (widest last)."""
+    from repro.core.types import Precision
+
+    if exponent_bits not in _STORAGE_MANTISSA:
+        raise MixPBenchError(
+            f"unsupported exponent width e{exponent_bits}; emulated formats "
+            "store in fp32 (e8) or fp64 (e11)"
+        )
+    if rounding not in ROUNDING_MODES:
+        raise MixPBenchError(
+            f"unknown rounding mode {rounding!r}; choose from {ROUNDING_MODES}"
+        )
+    cap = _STORAGE_MANTISSA[exponent_bits]
+    if not min_mantissa <= cap:
+        raise MixPBenchError(
+            f"min_mantissa {min_mantissa} exceeds the e{exponent_bits} "
+            f"storage mantissa ({cap} bits)"
+        )
+    suffix = "sr" if rounding == "stochastic" else ""
+    formats: list[PrecisionLike] = [
+        get_format(f"e{exponent_bits}m{m}{suffix}")
+        for m in range(min_mantissa, cap + 1)
+    ]
+    formats.append(Precision.DOUBLE)
+    return tuple(formats)
+
+
+class BitWidthSearch(SearchStrategy):
+    """Greedy per-cluster binary search over emulated mantissa widths."""
+
+    strategy_name = "bitwidth-bisection"
+    granularity = Granularity.CLUSTER
+
+    def __init__(
+        self,
+        exponent_bits: int = 8,
+        min_mantissa: int = 2,
+        rounding: str = "nearest",
+    ) -> None:
+        # emulated_domain validates all three parameters up front, so a
+        # bad CLI flag fails before any trial is spent.
+        emulated_domain(exponent_bits, min_mantissa, rounding)
+        self.exponent_bits = int(exponent_bits)
+        self.min_mantissa = int(min_mantissa)
+        self.rounding = rounding
+        self._suffix = "sr" if rounding == "stochastic" else ""
+        self._cap = _STORAGE_MANTISSA[self.exponent_bits]
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            exponent_bits=self.exponent_bits,
+            min_mantissa=self.min_mantissa,
+            rounding=self.rounding,
+        )
+        return info
+
+    def _format(self, mantissa: int) -> CustomFormat:
+        return get_format(f"e{self.exponent_bits}m{mantissa}{self._suffix}")
+
+    def domain(self) -> tuple[PrecisionLike, ...]:
+        """The per-location width domain this search enumerates."""
+        return emulated_domain(self.exponent_bits, self.min_mantissa, self.rounding)
+
+    def _search(self, evaluator: ConfigurationEvaluator) -> PrecisionConfig | None:
+        space = self.space(evaluator)
+        # Attach the width domains so the outcome's search-space
+        # accounting (and the golden size pins) reflect the widened
+        # per-location choice set.
+        space = space.with_width_domains(
+            {loc: self.domain() for loc in space.locations()}
+        )
+        choices: dict[str, PrecisionLike] = {}
+
+        def trial_with(location: str, mantissa: int):
+            candidate = dict(choices)
+            candidate[location] = self._format(mantissa)
+            return evaluator.evaluate(space.config_from_choices(candidate))
+
+        for location in self.ordered_locations(evaluator, space):
+            # Feasibility probe at the widest (storage-exact) width.
+            widest = trial_with(location, self._cap)
+            if not widest.passed:
+                continue  # stays at double
+            lo, hi = self.min_mantissa, self._cap
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if trial_with(location, mid).passed:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            choices[location] = self._format(hi)
+
+        if not choices:
+            return None
+        # Greedy composition: every trial carried the widths already
+        # fixed, so the final configuration is exactly the last passing
+        # trial for the last lowered location — already evaluated.
+        return space.config_from_choices(choices)

@@ -10,6 +10,7 @@ from typing import Callable
 
 from repro.errors import MixPBenchError
 from repro.search.base import SearchStrategy
+from repro.search.bitwidth import BitWidthSearch
 from repro.search.combinational import CombinationalSearch
 from repro.search.compositional import CompositionalSearch
 from repro.search.delta_debug import DeltaDebugSearch
@@ -22,7 +23,7 @@ from repro.search.random_search import RandomSearch
 
 __all__ = [
     "make_strategy", "available_strategies", "register_strategy",
-    "ALGORITHM_ORDER",
+    "strategy_kwargs", "ALGORITHM_ORDER",
 ]
 
 #: column order used by the paper's tables
@@ -68,6 +69,20 @@ def available_strategies() -> tuple[str, ...]:
     return ALGORITHM_ORDER
 
 
+def strategy_kwargs(name: str, *, rounding: str | None = None) -> dict:
+    """Factory kwargs for options only some strategies understand.
+
+    ``rounding`` selects the emulated-format store-rounding mode and is
+    meaningful only to the bit-width bisection search; for every other
+    strategy the option is dropped so mixed grids
+    (``--algorithms DD BW --rounding stochastic``) stay runnable.
+    """
+    kwargs: dict = {}
+    if rounding is not None and canonical_name(name) == "BW":
+        kwargs["rounding"] = rounding
+    return kwargs
+
+
 register_strategy(CombinationalSearch, "CB", "combinational")
 register_strategy(CompositionalSearch, "CM", "compositional")
 register_strategy(DeltaDebugSearch, "DD", "delta-debugging", "ddebug", "delta_debug")
@@ -82,3 +97,6 @@ register_strategy(GeneticSearch, "GA", "genetic", "genetic-algorithm")
 register_strategy(ClusterHierarchicalSearch, "HRC", "hierarchical-clustered")
 register_strategy(RandomSearch, "RS", "random", "random-search")
 register_strategy(PrecisionLadderSearch, "LD", "precision-ladder", "ladder")
+# Extension: per-cluster mantissa-width bisection over the emulated
+# arbitrary-precision formats (e8m*/e11m*).
+register_strategy(BitWidthSearch, "BW", "bisect", "bitwidth", "bitwidth-bisection")

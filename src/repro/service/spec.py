@@ -64,6 +64,9 @@ class GridSpec:
     #: trace-fusion fast path toggle (bit-identical either way; a
     #: submission with ``fuse=False`` runs its shards interpreted)
     fuse: bool = True
+    #: store-rounding mode for emulated formats ("nearest" or
+    #: "stochastic"); only the bit-width bisection strategy consumes it
+    rounding: str = "nearest"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "programs", tuple(self.programs))
@@ -80,6 +83,11 @@ class GridSpec:
                 f"unknown executor {self.executor!r}; "
                 f"choose one of {EXECUTOR_NAMES}"
             )
+        if self.rounding not in ("nearest", "stochastic"):
+            raise SpecError(
+                f"unknown rounding mode {self.rounding!r}; "
+                "choose 'nearest' or 'stochastic'"
+            )
 
     def jobs(self, cache_dir: str | None = None) -> list[SearchJob]:
         """Expand into the shards a scheduler dispatches."""
@@ -95,6 +103,7 @@ class GridSpec:
             prune=self.prune,
             shadow=self.shadow,
             fuse=self.fuse,
+            rounding=self.rounding,
         )
 
     @property
@@ -126,6 +135,10 @@ class GridSpec:
             "prune": self.prune,
             "shadow": self.shadow,
             "fuse": self.fuse,
+            # Only serialised when set: specs that never touch emulated
+            # formats keep their pre-format JSON shape, so their content
+            # digests (and therefore job identifiers) are unchanged.
+            **({"rounding": self.rounding} if self.rounding != "nearest" else {}),
         }
 
     @classmethod
@@ -136,6 +149,7 @@ class GridSpec:
             "programs", "algorithms", "thresholds", "max_evaluations",
             "time_limit_seconds", "executor", "executor_workers",
             "trial_timeout", "max_retries", "prune", "shadow", "fuse",
+            "rounding",
         }
         unknown = set(payload) - known
         if unknown:
@@ -156,6 +170,7 @@ class GridSpec:
                 prune=bool(payload.get("prune", False)),
                 shadow=bool(payload.get("shadow", False)),
                 fuse=bool(payload.get("fuse", True)),
+                rounding=payload.get("rounding", "nearest"),
             )
         except KeyError as missing:
             raise SpecError(f"grid spec is missing {missing.args[0]!r}") from None

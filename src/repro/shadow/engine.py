@@ -39,13 +39,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.types import Precision
+from repro.core.types import CustomFormat, parse_precision
 from repro.runtime import fuse as _fuse
 from repro.runtime import mparray as _mparray
 from repro.runtime.memory import Workspace
 from repro.runtime.mparray import (
     DIRECT_OPERATOR_NAMES, MPArray, _is_basic_index, _unwrap_tree, unwrap,
 )
+from repro.runtime.quantize import QuantSpec, quantize_array, quantize_scalar
 from repro.verify.metrics import _relative_divergence_core
 
 __all__ = ["ShadowContext", "ShadowArray", "ShadowWorkspace", "VariableStats"]
@@ -80,7 +81,27 @@ class ShadowContext:
         if not precisions:
             raise ValueError("shadow execution needs at least one precision")
         self.precisions = tuple(precisions)
-        self.dtypes = tuple(Precision.from_name(p).dtype for p in self.precisions)
+        formats = tuple(parse_precision(p) for p in self.precisions)
+        for fmt in formats:
+            if isinstance(fmt, CustomFormat) and fmt.stochastic:
+                raise ValueError(
+                    f"shadow replicas cannot use stochastic rounding "
+                    f"({fmt.name}): replica values are intermediate, not "
+                    "per-variable stores, so the seeded replay stream is "
+                    "undefined; use the nearest-rounded format instead"
+                )
+        self.formats = formats
+        self.dtypes = tuple(fmt.dtype for fmt in formats)
+        # Emulated-width replicas quantise every propagated value
+        # (VPREC-style round-after-every-op); None slots are the exact
+        # hardware dtypes and skip the pass entirely.
+        self._qspecs = tuple(
+            QuantSpec(fmt, 0, f"shadow:{fmt.name}")
+            if isinstance(fmt, CustomFormat) and fmt.shift > 0
+            else None
+            for fmt in formats
+        )
+        self.has_custom = any(spec is not None for spec in self._qspecs)
         self.n = len(self.dtypes)
         self.op_index = 0
         #: uid -> one VariableStats per enabled precision
@@ -243,15 +264,43 @@ class ShadowContext:
     def cast_back(self, result, k: int):
         """Clamp a shadow result back to the shadow dtype.  Mixed
         integer/float promotion can widen past it; in the modeled
-        all-at-precision-p program every intermediate is stored at p."""
+        all-at-precision-p program every intermediate is stored at p.
+        Emulated-width replicas additionally round the stored mantissa
+        here, so every operation's result passes through the format —
+        the same store-side rounding the interpreted emulated path
+        applies."""
         dtype = self.dtypes[k]
         if isinstance(result, np.ndarray):
             if result.dtype.kind == "f" and result.dtype.itemsize > dtype.itemsize:
-                return result.astype(dtype)
+                result = result.astype(dtype)
+            if self._qspecs[k] is not None:
+                return self.quantize(result, k)
             return result
-        if isinstance(result, np.floating) and result.dtype.itemsize > dtype.itemsize:
-            return dtype.type(result)
+        if isinstance(result, np.floating):
+            if result.dtype.itemsize > dtype.itemsize:
+                result = dtype.type(result)
+            if self._qspecs[k] is not None:
+                return self.quantize(result, k)
+            return result
         return result
+
+    def quantize(self, value, k: int):
+        """Round a shadow value to replica ``k``'s emulated mantissa
+        width (no-op for exact replicas).  Rounding is idempotent, so
+        requantising an aliased, already-rounded buffer in place is
+        safe; read-only views (broadcast results) are copied first."""
+        spec = self._qspecs[k]
+        if spec is None:
+            return value
+        if isinstance(value, np.ndarray):
+            if value.dtype == self.dtypes[k]:
+                if not value.flags.writeable:
+                    value = value.copy()
+                quantize_array(value, spec)
+            return value
+        if isinstance(value, np.floating) and value.dtype == self.dtypes[k]:
+            return quantize_scalar(value, spec)
+        return value
 
 
 def _taint_and_divs(ctx: ShadowContext, inputs) -> tuple[frozenset, tuple[float, ...]]:
@@ -608,10 +657,23 @@ class ShadowWorkspace(Workspace):
         self.shadow = shadow_context
         # Replace the base class's plain-mode tracer: shadow regions
         # update the reference and every replica in one generated pass.
-        self.profile.fuse = _fuse.shadow_tracer(self.profile, shadow_context)
+        # Emulated-width replicas run interpreted instead — the traced
+        # kernels don't apply per-op mantissa rounding, and divergence
+        # scores must come from the same arithmetic the real emulated
+        # run would use.
+        if shadow_context.has_custom:
+            self.profile.fuse = None
+        else:
+            self.profile.fuse = _fuse.shadow_tracer(self.profile, shadow_context)
 
     def _declare(self, uid, data, shadows, taint, carried_divs, known_divs=None):
         ctx = self.shadow
+        if ctx.has_custom:
+            # Declarations are stores: round each replica buffer to its
+            # emulated width before divergence is measured.  Idempotent,
+            # so aliased already-rounded buffers (param, same-dtype
+            # scalar views) pass through unchanged.
+            shadows = tuple(ctx.quantize(s, k) for k, s in enumerate(shadows))
         tracer = self.profile.fuse
         if tracer is not None:
             tracer.foreign()

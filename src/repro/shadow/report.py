@@ -262,15 +262,26 @@ def run_shadow_analysis(
     benchmark: Benchmark,
     include_half: bool = False,
     precisions: tuple[str, ...] | None = None,
+    replicas: tuple[str, ...] = (),
 ) -> SensitivityReport:
     """Execute ``benchmark`` once in shadow mode and attribute error.
 
     The fp64 reference path of the run is bit-identical to a normal
     instrumented execution (same inputs, same seed, same RNG replay
     stream); only the bookkeeping differs.
+
+    ``replicas`` appends extra shadow precisions — typically emulated
+    formats such as ``e8m10`` (see docs/precision-formats.md) — to the
+    default set, letting one run attribute error at custom mantissa
+    widths alongside fp32.  Emulated replicas disable the shadow
+    fast-path tracer for the run (their per-op rounding has no fused
+    kernel), so expect interpreted-speed execution.
     """
     if precisions is None:
         precisions = ("single", "half") if include_half else DEFAULT_PRECISIONS
+    for extra in replicas:
+        if extra not in precisions:
+            precisions = tuple(precisions) + (extra,)
     ctx = ShadowContext(precisions)
     report = benchmark.report()
     ws = ShadowWorkspace(

@@ -1,0 +1,159 @@
+"""Bit-width bisection search (``BW``) and its golden pins.
+
+Unit tests cover the strategy mechanics — the width ladder, the
+feasibility probe, the binary-search invariant that the returned width
+always passed — and the registry/CLI plumbing (``--rounding`` only
+reaches strategies that accept it).  The golden suite pins search-space
+sizes and full BW outcomes for five representative programs against
+``tests/data/formats_golden.json``; regenerate the file (see the
+docstring there) only when the search or the spaces *intentionally*
+change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarks.base import get_benchmark
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.types import Precision, get_format, parse_precision
+from repro.search.bitwidth import BitWidthSearch, emulated_domain
+from repro.search.registry import canonical_name, make_strategy, strategy_kwargs
+
+
+def _load_golden():
+    path = Path(__file__).parent / "data" / "formats_golden.json"
+    return json.loads(path.read_text())
+
+
+GOLDEN = _load_golden()
+
+
+class TestEmulatedDomain:
+    def test_default_ladder_spans_e8_plus_double(self):
+        domain = emulated_domain()
+        assert domain[0] is get_format("e8m2")
+        assert domain[-2] is get_format("e8m23")
+        assert domain[-1] is Precision.DOUBLE
+        assert len(domain) == 23  # m2..m23 plus the double fallback
+
+    def test_e11_ladder(self):
+        domain = emulated_domain(exponent_bits=11, min_mantissa=40)
+        assert [f.name for f in domain[:3]] == ["e11m40", "e11m41", "e11m42"]
+        assert domain[-1] is Precision.DOUBLE
+
+    def test_stochastic_ladder_uses_sr_formats(self):
+        domain = emulated_domain(rounding="stochastic")
+        assert domain[0] is get_format("e8m2sr")
+        assert all(
+            fmt.stochastic for fmt in domain[:-1]
+        )
+
+    def test_rejects_bad_arguments(self):
+        from repro.errors import MixPBenchError
+
+        with pytest.raises(MixPBenchError, match="rounding"):
+            emulated_domain(rounding="up")
+        with pytest.raises(MixPBenchError, match="exponent"):
+            emulated_domain(exponent_bits=5)
+        with pytest.raises(MixPBenchError, match="min_mantissa"):
+            emulated_domain(min_mantissa=40)  # exceeds the e8 cap
+
+
+class TestRegistryPlumbing:
+    def test_aliases_resolve_to_bw(self):
+        for alias in ("BW", "bisect", "bitwidth", "bitwidth-bisection"):
+            assert canonical_name(alias) == "BW"
+            assert isinstance(make_strategy(alias), BitWidthSearch)
+
+    def test_strategy_kwargs_only_feeds_bw(self):
+        assert strategy_kwargs("BW", rounding="stochastic") == {
+            "rounding": "stochastic"
+        }
+        # a mixed --algorithms DD BW --rounding stochastic grid must not
+        # pass the kwarg to strategies that don't take it
+        assert strategy_kwargs("DD", rounding="stochastic") == {}
+        assert strategy_kwargs("HR", rounding="nearest") == {}
+
+    def test_describe_records_parameters(self):
+        strategy = make_strategy("BW", min_mantissa=5, rounding="stochastic")
+        description = strategy.describe()
+        assert description["min_mantissa"] == 5
+        assert description["rounding"] == "stochastic"
+
+
+class TestBisectionSearch:
+    def test_final_config_was_an_evaluated_passing_trial(self):
+        bench = get_benchmark("eos")
+        evaluator = ConfigurationEvaluator(bench)
+        outcome = make_strategy("BW").run(evaluator)
+        assert outcome.found_solution
+        final_digest = outcome.final.config.digest()
+        passing = {
+            t.config.digest() for t in outcome.trials if t.passed
+        }
+        assert final_digest in passing
+
+    def test_assigned_widths_pass_and_narrower_fails(self):
+        """The bisection invariant: the chosen width passes; one bit
+        narrower (when the chosen width is above the floor) fails."""
+        bench = get_benchmark("eos")
+        outcome = make_strategy("BW").run(ConfigurationEvaluator(bench))
+        config = outcome.final.config
+        quality = bench.quality
+        import numpy as np
+
+        baseline = bench.execute(type(config)())
+        for location, precision in config.items():
+            fmt = parse_precision(precision)
+            if fmt is Precision.DOUBLE or fmt.mantissa_bits <= 2:
+                continue
+            narrower = config.assign(
+                location, get_format(f"e8m{fmt.mantissa_bits - 1}")
+            )
+            with np.errstate(all="ignore"):
+                err = quality.measure(
+                    baseline.output, bench.execute(narrower).output
+                )
+            assert not err <= bench.default_threshold
+
+    def test_stochastic_mode_runs(self):
+        bench = get_benchmark("eos")
+        outcome = make_strategy("BW", rounding="stochastic").run(
+            ConfigurationEvaluator(bench)
+        )
+        assert outcome.evaluations > 0
+        if outcome.found_solution:
+            for _loc, precision in outcome.final.config.items():
+                fmt = parse_precision(precision)
+                if fmt is not Precision.DOUBLE:
+                    assert fmt.stochastic
+
+
+@pytest.mark.parametrize("program", sorted(GOLDEN))
+class TestFormatsGolden:
+    """Pinned space sizes and BW outcomes for the representative set."""
+
+    def test_space_sizes_match_golden(self, program):
+        pin = GOLDEN[program]
+        space = get_benchmark(program).search_space()
+        assert len(space.locations()) == pin["locations"]
+        assert space.size() == pin["standard_space_size"]
+        domain = emulated_domain()
+        assert len(domain) == pin["bitwidth_domain_size"]
+        bw_space = space.with_width_domains(
+            {loc: domain for loc in space.locations()}
+        )
+        assert bw_space.size() == pin["bitwidth_space_size"]
+
+    def test_bw_outcome_matches_golden(self, program):
+        pin = GOLDEN[program]
+        bench = get_benchmark(program)
+        outcome = make_strategy("BW").run(ConfigurationEvaluator(bench))
+        assert outcome.evaluations == pin["bw_evaluations"]
+        assert outcome.found_solution == pin["bw_found_solution"]
+        if pin["bw_found_solution"]:
+            assert outcome.final.config.to_json_dict() == pin["bw_final"]

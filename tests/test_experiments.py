@@ -95,7 +95,8 @@ class TestSearchDrivenExperiments:
         assert EXPERIMENTS == (
             "table1", "table2", "table3", "table4", "table5", "fig2", "fig3",
             "insights", "compare", "prune-stats", "shadow-stats",
-            "ext-half", "ext-hrc", "ext-machines", "ext-convergence",
+            "format-stats", "ext-half", "ext-hrc", "ext-machines",
+            "ext-convergence",
         )
 
 
