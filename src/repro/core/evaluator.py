@@ -149,6 +149,23 @@ class ConfigurationEvaluator:
         Free-form provenance for the order (shadow-run summary),
         surfaced in search outcome metadata and reports alongside
         ``prune_info``.
+    screen:
+        Optional :class:`~repro.typeforge.errorbound.CertifiedBound`.
+        When attached, :meth:`evaluate` first asks the certificate
+        whether the configuration provably violates the quality
+        threshold; certified rejects are recorded as
+        :attr:`~repro.core.results.EvaluationStatus.SCREENED` trials
+        that cost nothing — no execution, no simulated budget, no EV
+        increment.  Screening may only *skip*, never accept: every
+        configuration the certificate cannot reject evaluates exactly
+        as it would have without one, so behaviour with ``screen=None``
+        is byte-identical and the verified error of the final
+        configuration is unchanged.
+    screen_info:
+        Free-form provenance for the certificate (calibration anchor,
+        safety factor), surfaced in search outcome metadata and
+        reports; the live ``screened`` skip count is appended by
+        :meth:`SearchStrategy.run <repro.search.base.SearchStrategy.run>`.
     """
 
     def __init__(
@@ -168,6 +185,8 @@ class ConfigurationEvaluator:
         prune_info: dict | None = None,
         location_order=None,
         shadow_info: dict | None = None,
+        screen=None,
+        screen_info: dict | None = None,
     ) -> None:
         self.program = program
         self.quality = quality if quality is not None else program.quality
@@ -197,6 +216,8 @@ class ConfigurationEvaluator:
         self.prune_info = prune_info
         self.location_order = location_order
         self.shadow_info = shadow_info
+        self.screen = screen
+        self.screen_info = screen_info
         self._cache: dict[PrecisionConfig, TrialRecord] = {}
         self._staged: dict[PrecisionConfig, ExecutionResult | ExecutionFailure] = {}
         self._trials: list[TrialRecord] = []
@@ -312,6 +333,31 @@ class ConfigurationEvaluator:
             )
             return hit
 
+        if self.screen is not None and self.screen.rejects(
+            config, self.quality.threshold
+        ):
+            # Certified over-threshold: skip without executing.  The
+            # skip is free — no EV increment, no simulated budget — and
+            # the record carries the certificate's best error estimate
+            # so strategies that rank failing trials (GA fitness) see a
+            # value on the same scale as a measured one.
+            self.stats.screened += 1
+            record = TrialRecord(
+                index=self.evaluations,
+                config=config,
+                status=EvaluationStatus.SCREENED,
+                error_value=self.screen.predict(config),
+            )
+            self._cache[config] = record
+            self._trials.append(record)
+            if self.trace is not None:
+                self.trace.emit(
+                    "screened", config=config.digest(),
+                    lower_bound=self.screen.lower(config),
+                    threshold=self.quality.threshold,
+                )
+            return record
+
         if self.analysis_seconds >= self.time_limit_seconds:
             raise SearchBudgetExceeded(
                 f"{self.program.name}: simulated analysis budget "
@@ -350,6 +396,10 @@ class ConfigurationEvaluator:
             if config in seen or config in self._cache or config in self._staged:
                 continue
             seen.add(config)
+            if self.screen is not None and self.screen.rejects(
+                config, self.quality.threshold
+            ):
+                continue  # evaluate() will screen it; nothing to stage
             if not self._cluster_space.is_compilable(config):
                 continue  # rejected before running; nothing to stage
             if self.cache is not None and self.cache.get(

@@ -28,6 +28,7 @@ class EvaluationStatus(enum.Enum):
     FAILED_QUALITY = "failed_quality"  # ran but the error exceeded the threshold
     COMPILE_ERROR = "compile_error"  # split a Typeforge cluster (would not compile)
     RUNTIME_ERROR = "runtime_error"  # crashed / produced no output
+    SCREENED = "screened"            # statically certified over-threshold; never ran
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,12 @@ class EvalStats:
     retries: int = 0
     worker_restarts: int = 0
     redispatched: int = 0
+    #: configurations rejected by the static error-bound certifier
+    #: (see repro.typeforge.errorbound) without running — free skips
+    #: that never enter the trial log's EV count.  Serialised only when
+    #: nonzero so screening-off payloads stay byte-identical to
+    #: releases that predate the counter.
+    screened: int = 0
     #: trace-fusion counters (see repro.runtime.fuse): deltas of the
     #: process-global fuse.STATS attributable to this evaluator's
     #: in-process executions.  Deliberately NOT part of as_dict(): a
@@ -93,6 +99,8 @@ class EvalStats:
             "worker_restarts": self.worker_restarts,
             "redispatched": self.redispatched,
         }
+        if self.screened:
+            payload["screened"] = self.screened
         if self.labels:
             payload["labels"] = dict(self.labels)
         return payload
@@ -125,6 +133,7 @@ class EvalStats:
         self.retries += other.retries
         self.worker_restarts += other.worker_restarts
         self.redispatched += other.redispatched
+        self.screened += other.screened
         self.fuse_regions_compiled += other.fuse_regions_compiled
         self.fuse_regions_loaded += other.fuse_regions_loaded
         self.fuse_region_replays += other.fuse_region_replays

@@ -24,8 +24,10 @@ __all__ = [
     "PrecisionConfig",
     "PrecisionLike",
     "get_format",
+    "mantissa_bits",
     "parse_precision",
     "precision_rank",
+    "unit_roundoff",
 ]
 
 
@@ -276,6 +278,25 @@ def precision_rank(value: PrecisionLike) -> tuple[int, int, int]:
     if isinstance(value, Precision):
         return (_BITS[value], _MANTISSA_BITS[value], 0)
     return (value.bits, value.mantissa_bits, 1)
+
+
+def mantissa_bits(value: PrecisionLike) -> int:
+    """Explicit mantissa-field width of a precision level (excluding
+    the hidden bit): 10/23/52 for the built-ins, ``m`` for ``e8m<m>`` /
+    ``e11m<m>`` emulated formats."""
+    if isinstance(value, Precision):
+        return _MANTISSA_BITS[value]
+    if isinstance(value, CustomFormat):
+        return value.mantissa_bits
+    raise TypeError(f"not a precision level: {value!r}")
+
+
+def unit_roundoff(value: PrecisionLike) -> float:
+    """Unit roundoff ``u = 2**-(m+1)`` of a precision level — the
+    worst-case relative error of one round-to-nearest operation.  This
+    is the symbolic knob the static error-bound model in
+    :mod:`repro.typeforge.errorbound` prices configurations with."""
+    return 2.0 ** -(mantissa_bits(value) + 1)
 
 
 def format_names_hint() -> str:

@@ -10,6 +10,7 @@ Regenerates the paper's evaluation artifacts::
     mixpbench-experiments fig2 fig3         # figure data series
     mixpbench-experiments prune-stats       # Table II before/after --prune
     mixpbench-experiments shadow-stats      # unguided vs --order shadow
+    mixpbench-experiments screen-stats      # plain vs --screen certificates
     mixpbench-experiments format-stats      # BW bisection vs built-in dtypes
     mixpbench-experiments ext-half ext-hrc  # extensions beyond the paper
     mixpbench-experiments all               # everything
@@ -26,8 +27,8 @@ import time
 
 from repro.experiments import (
     compare, ext_convergence, ext_half, ext_hrc, ext_machines,
-    fig2, fig3, format_stats, insights, prune_stats, shadow_stats,
-    table1, table2, table3, table4, table5,
+    fig2, fig3, format_stats, insights, prune_stats, screen_stats,
+    shadow_stats, table1, table2, table3, table4, table5,
 )
 from repro.experiments.context import ExperimentContext
 
@@ -35,7 +36,8 @@ __all__ = ["main", "run_experiment", "EXPERIMENTS"]
 
 EXPERIMENTS = (
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig3",
-    "insights", "compare", "prune-stats", "shadow-stats", "format-stats",
+    "insights", "compare", "prune-stats", "shadow-stats", "screen-stats",
+    "format-stats",
     "ext-half", "ext-hrc", "ext-machines", "ext-convergence",
 )
 
@@ -64,6 +66,8 @@ def run_experiment(name: str, ctx: ExperimentContext, results_dir: str) -> str:
         return prune_stats.run(results_dir)
     if name == "shadow-stats":
         return shadow_stats.run(results_dir)
+    if name == "screen-stats":
+        return screen_stats.run(results_dir)
     if name == "format-stats":
         return format_stats.run(results_dir)
     if name == "ext-half":

@@ -5,6 +5,7 @@ Subcommands::
     mixpbench list                         # suite inventory
     mixpbench analyze BENCH                # Typeforge TV/TC report
     mixpbench lint [TARGET...]             # static precision diagnostics
+    mixpbench certify BENCH                # static error-bound certificate
     mixpbench run CONFIG.yaml              # run a YAML harness file
     mixpbench search BENCH --algorithm DD  # one ad-hoc search
     mixpbench sensitivity BENCH            # shadow-run error attribution
@@ -27,8 +28,8 @@ from repro.core.batch import EXECUTOR_NAMES, make_executor
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.errors import MixPBenchError
 from repro.harness.reporting import (
-    format_eval_stats, format_prune_stats, format_quality, format_shadow_stats,
-    format_speedup, format_table,
+    format_eval_stats, format_prune_stats, format_quality,
+    format_screen_stats, format_shadow_stats, format_speedup, format_table,
 )
 from repro.harness.runner import Harness
 from repro.search.registry import (
@@ -91,6 +92,16 @@ def _add_order_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_screen_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--screen", action="store_true",
+        help="skip configurations whose statically certified error "
+             "lower bound already violates the threshold (sound: "
+             "screening only skips, never accepts — the verified error "
+             "of the result matches the unscreened search)",
+    )
+
+
 def _add_rounding_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--rounding", choices=["nearest", "stochastic"], default="nearest",
@@ -146,6 +157,33 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: error)",
     )
 
+    certify = sub.add_parser(
+        "certify",
+        help="static rounding-error certificate: per-variable bound "
+             "amplifications, calibrated against one shadow run, and "
+             "the screening verdict for the uniform width ladder",
+    )
+    certify.add_argument("benchmark")
+    certify.add_argument(
+        "--threshold", type=float, default=None,
+        help="error threshold the screening verdicts are judged against "
+             "(default: the benchmark's)",
+    )
+    certify.add_argument(
+        "--safety", type=float, default=None,
+        help="safety divisor between the calibrated estimate and the "
+             "certified lower bound (default: 128)",
+    )
+    certify.add_argument(
+        "--trip-count", type=int, default=None, metavar="N",
+        help="bound reduction loops at N iterations instead of the "
+             "symbolic default (silences MPB302)",
+    )
+    certify.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+
     run = sub.add_parser("run", help="run a YAML harness configuration")
     run.add_argument("config")
     run.add_argument("--output-dir", default="results")
@@ -155,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_order_flag(run)
     _add_rounding_flag(run)
+    _add_screen_flag(run)
     _add_execution_flags(run)
 
     search = sub.add_parser("search", help="run one mixed-precision search")
@@ -181,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_order_flag(search)
     _add_rounding_flag(search)
+    _add_screen_flag(search)
     _add_execution_flags(search)
 
     grid = sub.add_parser(
@@ -216,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_order_flag(grid)
     _add_rounding_flag(grid)
+    _add_screen_flag(grid)
     grid.add_argument("--output-dir", default="results")
     _add_execution_flags(grid)
 
@@ -330,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_order_flag(submit)
     _add_rounding_flag(submit)
+    _add_screen_flag(submit)
     _add_fuse_flag(submit)
     submit.add_argument(
         "--ack-timeout", type=float, default=30.0, metavar="SECONDS",
@@ -468,15 +510,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shadow=args.order == "shadow",
         fuse=not args.no_fuse,
         rounding=args.rounding,
+        screen=args.screen,
     )
     for report in harness.run_file(args.config):
         print(f"\n{report.name} ({report.metric} <= {report.threshold:g})")
         rows = []
         pruned = False
         shadowed = False
+        screened = False
         for a in report.analyses:
             pruned = pruned or bool(a.prune)
             shadowed = shadowed or bool(a.shadow)
+            screened = screened or bool(a.screen)
             rows.append([
                 a.identifier, a.strategy, a.evaluations,
                 f"{a.analysis_hours:.2f}h",
@@ -496,6 +541,87 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for a in report.analyses:
                 if a.shadow:
                     print(f"  {a.identifier}: shadow {format_shadow_stats(a.shadow)}")
+        if screened:
+            for a in report.analyses:
+                if a.screen:
+                    print(f"  {a.identifier}: screen {format_screen_stats(a.screen)}")
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.typeforge.errorbound import DEFAULT_SAFETY, certify_benchmark
+
+    bench = get_benchmark(args.benchmark)
+    threshold = args.threshold if args.threshold is not None else bench.default_threshold
+    safety = args.safety if args.safety is not None else DEFAULT_SAFETY
+    model, certificate = certify_benchmark(
+        bench, safety=safety, trip_count=args.trip_count,
+    )
+
+    # Price the uniform width ladder: for each representative width,
+    # the certified lower bound of lowering every weighted location.
+    from repro.core.types import PrecisionConfig, get_format
+
+    ladder = []
+    for mantissa in (23, 16, 10, 6, 2):
+        fmt = get_format(f"e8m{mantissa}")
+        config = PrecisionConfig(dict.fromkeys(certificate.weights, fmt))
+        ladder.append({
+            "format": fmt.name,
+            "lower_bound": certificate.lower(config),
+            "screened": certificate.rejects(config, threshold),
+        })
+
+    if args.format == "json":
+        payload = {
+            "program": bench.name,
+            "threshold": threshold,
+            "model": model.to_json_dict(),
+            "certificate": certificate.to_json_dict(),
+            "uniform_ladder": ladder,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    summary = model.summary()
+    print(f"{bench.name}: static error-bound certificate "
+          f"({bench.metric} <= {threshold:g})")
+    trips = (f"{model.trip_count} (trace-bounded)" if model.trip_bounded
+             else f"{model.trip_count} (assumed; no recorded trace)")
+    print(f"  reduction trip count : {trips}")
+    print(f"  amplification terms  : {summary['terms']}")
+    dom = summary["dominating"]
+    if dom:
+        print(f"  dominating variable  : {dom[0]} (x{dom[1]:g})")
+    anchor = certificate.anchor
+    anchor_text = f"{anchor:.3e}" if isinstance(anchor, float) else str(anchor)
+    print(f"  calibration anchor   : uniform-fp32 {bench.metric} = {anchor_text} "
+          f"(safety {certificate.safety:g})")
+    if certificate.weights:
+        rows = [
+            [uid, f"{weight:.3e}", f"{model.amplification(uid):g}"]
+            for uid, weight in sorted(
+                certificate.weights.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        print(format_table(
+            ["variable", "weight (metric units @ fp32)", "amplification"], rows,
+        ))
+        rows = [
+            [step["format"], f"{step['lower_bound']:.3e}",
+             "screened" if step["screened"] else "evaluate"]
+            for step in ladder
+        ]
+        print(format_table(["uniform width", "certified lower bound", "verdict"], rows))
+    else:
+        print("  certificate is inert (no measured anchor); screening will "
+              "never reject")
+    if model.sites:
+        print("  bound sites:")
+        for site in model.sites:
+            print(f"    {site.location()}: {site.rule}: {site.message}")
     return 0
 
 
@@ -538,12 +664,20 @@ def _cmd_search(args: argparse.Namespace) -> int:
         from repro.shadow import shadow_guidance
 
         location_order, shadow_info = shadow_guidance(bench)
+    screen = None
+    screen_info = None
+    if args.screen:
+        from repro.typeforge.errorbound import certify_benchmark
+
+        _, screen = certify_benchmark(bench)
+        screen_info = screen.info()
     try:
         evaluator = ConfigurationEvaluator(
             bench, quality=quality, max_evaluations=args.max_evaluations,
             timing=timing, executor=executor, cache=cache, trace=trace,
             space_override=space_override, prune_info=prune_info,
             location_order=location_order, shadow_info=shadow_info,
+            screen=screen, screen_info=screen_info,
         )
         strategy = make_strategy(
             args.algorithm,
@@ -570,6 +704,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"  pruned: {format_prune_stats(prune_info)}")
     if shadow_info is not None:
         print(f"  shadow: {format_shadow_stats(shadow_info)}")
+    if screen_info is not None:
+        print(f"  screen: {format_screen_stats(outcome.metadata.get('screen'))}")
     if outcome.found_solution:
         print(f"  speedup: {format_speedup(outcome.speedup)}")
         print(f"  quality: {format_quality(outcome.error_value)}")
@@ -605,6 +741,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         shadow=args.order == "shadow",
         fuse=not args.no_fuse,
         rounding=args.rounding,
+        screen=args.screen,
     )
     results = run_grid(
         jobs, workers=args.grid_workers,
@@ -671,6 +808,7 @@ def _submit_spec(args: argparse.Namespace):
         shadow=args.order == "shadow",
         fuse=not args.no_fuse,
         rounding=args.rounding,
+        screen=args.screen,
     )
 
 
@@ -909,6 +1047,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_analyze(args.benchmark, args.explain, args.prune)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "certify":
+            return _cmd_certify(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "search":

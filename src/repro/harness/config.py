@@ -40,6 +40,7 @@ _TOP_KEYS = {
     "benchmark", "build", "build_dir", "clean", "metric", "threshold",
     "runs", "time_limit_hours", "analysis", "args", "bin", "copy", "output",
     "executor", "workers", "cache", "prune", "shadow", "fuse", "rounding",
+    "screen",
 }
 
 _EXECUTOR_NAMES = ("serial", "thread", "process")
@@ -83,6 +84,8 @@ class HarnessConfig:
     #: emulated-format store-rounding mode ("nearest"/"stochastic");
     #: None inherits
     rounding: str | None = None
+    #: certified error-bound screening toggle; None inherits
+    screen: bool | None = None
 
     def analysis(self, identifier: str) -> AnalysisSpec:
         for spec in self.analyses:
@@ -191,6 +194,12 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
             f"{source}: {name}: fuse must be a boolean"
         )
 
+    screen = body.get("screen")
+    if screen is not None and not isinstance(screen, bool):
+        raise HarnessConfigError(
+            f"{source}: {name}: screen must be a boolean"
+        )
+
     rounding = body.get("rounding")
     if rounding is not None:
         rounding = str(rounding).strip().lower()
@@ -230,4 +239,5 @@ def _parse_entry(name: str, body: Any, source: str) -> HarnessConfig:
         shadow=shadow,
         fuse=fuse,
         rounding=rounding,
+        screen=screen,
     )

@@ -63,6 +63,9 @@ class DeployedApp:
     shadow: bool = False
     #: emulated-format store-rounding mode ("nearest"/"stochastic")
     rounding: str = "nearest"
+    #: skip configurations whose certified error bound violates the
+    #: threshold (sound: skips only, never accepts)
+    screen: bool = False
 
 
 @dataclass
@@ -96,6 +99,7 @@ class FloatSmithPlugin(AnalysisPlugin):
         max_evaluations = extra_args.pop("max_evaluations", None)
         prune = bool(extra_args.pop("prune", False)) or app.prune
         shadow = bool(extra_args.pop("shadow", False)) or app.shadow
+        screen = bool(extra_args.pop("screen", False)) or app.screen
         rounding = str(extra_args.pop("rounding", "") or app.rounding)
         if extra_args:
             raise PluginError(
@@ -119,6 +123,13 @@ class FloatSmithPlugin(AnalysisPlugin):
             from repro.shadow import shadow_guidance
 
             location_order, shadow_info = shadow_guidance(bench)
+        certificate = None
+        screen_info = None
+        if screen:
+            from repro.typeforge.errorbound import certify_benchmark
+
+            _, certificate = certify_benchmark(bench)
+            screen_info = certificate.info()
         evaluator = ConfigurationEvaluator(
             bench,
             quality=app.quality,
@@ -131,6 +142,8 @@ class FloatSmithPlugin(AnalysisPlugin):
             prune_info=prune_info,
             location_order=location_order,
             shadow_info=shadow_info,
+            screen=certificate,
+            screen_info=screen_info,
         )
         for key, value in _registry_kwargs(algorithm, rounding=rounding).items():
             strategy_kwargs.setdefault(key, value)

@@ -15,7 +15,8 @@ from typing import Any, Sequence
 
 __all__ = [
     "format_table", "write_csv", "format_quality", "format_speedup",
-    "format_eval_stats", "format_prune_stats", "format_shadow_stats",
+    "format_eval_stats", "format_prune_stats", "format_screen_stats",
+    "format_shadow_stats",
 ]
 
 
@@ -58,6 +59,30 @@ def format_shadow_stats(stats: dict | None) -> str:
     else:
         suffix = ""
     return f"{variables} vars ranked over {ops} ops, top {leader}{suffix}"
+
+
+def format_screen_stats(stats: dict | None) -> str:
+    """One-line rendering of a screening-certificate summary block.
+
+    ``7 skipped (2 terms, anchor 1.6e-06, safety 128)`` — how many
+    configurations the static certificate rejected without running,
+    plus the calibration provenance.  An empty block (screening off)
+    renders as ``-``.
+    """
+    if not stats:
+        return "-"
+    skipped = stats.get("screened", 0)
+    terms = stats.get("terms", 0)
+    anchor = stats.get("anchor")
+    if isinstance(anchor, (int, float)):
+        anchor_text = f", anchor {anchor:.1e}"
+    elif anchor is not None:
+        anchor_text = f", anchor {anchor}"
+    else:
+        anchor_text = ""
+    safety = stats.get("safety")
+    safety_text = f", safety {safety:g}" if isinstance(safety, (int, float)) else ""
+    return f"{skipped} skipped ({terms} terms{anchor_text}{safety_text})"
 
 
 def format_eval_stats(stats: dict | None) -> str:

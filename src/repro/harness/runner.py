@@ -53,6 +53,8 @@ class AnalysisReport:
     prune: dict = field(default_factory=dict)
     #: shadow-guidance provenance (empty when guidance was off)
     shadow: dict = field(default_factory=dict)
+    #: screening-certificate provenance (empty when screening was off)
+    screen: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -102,6 +104,12 @@ class Harness:
         ``fuse:`` overrides; see docs/runtime.md).  Fusion is
         bit-identical to interpreted execution — this only trades
         compile/replay overhead against per-op dispatch.
+    screen:
+        Certified error-bound screening (``--screen``; per-entry
+        ``screen:`` overrides; see docs/error-bounds.md).  Screening
+        only skips statically doomed configurations — it never accepts
+        one, so each analysis's verified error matches the unscreened
+        run.
     """
 
     def __init__(
@@ -118,6 +126,7 @@ class Harness:
         shadow: bool = False,
         fuse: bool = True,
         rounding: str = "nearest",
+        screen: bool = False,
     ) -> None:
         self.output_dir = Path(output_dir)
         self.executor = executor
@@ -131,6 +140,7 @@ class Harness:
         self.shadow = shadow
         self.fuse = fuse
         self.rounding = rounding
+        self.screen = screen
 
     def run_file(self, path: str | Path) -> list[HarnessReport]:
         """Run every entry of a YAML configuration file."""
@@ -171,6 +181,7 @@ class Harness:
             prune=entry.prune if entry.prune is not None else self.prune,
             shadow=entry.shadow if entry.shadow is not None else self.shadow,
             rounding=entry.rounding if entry.rounding is not None else self.rounding,
+            screen=entry.screen if entry.screen is not None else self.screen,
         )
         # Entry-scoped fusion toggle: bit-identical either way, so
         # forcing it off (and restoring the previous force afterwards)
@@ -223,6 +234,7 @@ class Harness:
             eval_stats=dict(outcome.metadata.get("eval_stats") or {}),
             prune=dict(outcome.metadata.get("prune") or {}),
             shadow=dict(outcome.metadata.get("shadow") or {}),
+            screen=dict(outcome.metadata.get("screen") or {}),
         )
         if not outcome.found_solution:
             return report

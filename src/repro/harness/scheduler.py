@@ -84,6 +84,9 @@ class SearchJob:
     #: "stochastic"); consumed by the bit-width bisection strategy,
     #: ignored by strategies that never emit custom formats
     rounding: str = "nearest"
+    #: skip configurations whose statically certified error bound
+    #: violates the threshold (sound: skips only, never accepts)
+    screen: bool = False
 
     def label(self) -> str:
         return f"{self.program}/{canonical_name(self.algorithm)}@{self.threshold:g}"
@@ -143,6 +146,7 @@ def grid_jobs(
     shadow: bool = False,
     fuse: bool = True,
     rounding: str = "nearest",
+    screen: bool = False,
 ) -> list[SearchJob]:
     """The full cross product the paper's evaluation runs."""
     return [
@@ -161,6 +165,7 @@ def grid_jobs(
             shadow=shadow,
             fuse=fuse,
             rounding=rounding,
+            screen=screen,
         )
         for program in programs
         for algorithm in algorithms
@@ -224,6 +229,15 @@ def run_shard(
             from repro.shadow import shadow_guidance
 
             location_order, shadow_info = shadow_guidance(bench)
+        certificate = None
+        screen_info = None
+        if job.screen:
+            # Like the shadow run, certification is a deterministic
+            # in-process function of the benchmark.
+            from repro.typeforge.errorbound import certify_benchmark
+
+            _, certificate = certify_benchmark(bench)
+            screen_info = certificate.info()
         try:
             evaluator = ConfigurationEvaluator(
                 bench,
@@ -236,6 +250,8 @@ def run_shard(
                 prune_info=prune_info,
                 location_order=location_order,
                 shadow_info=shadow_info,
+                screen=certificate,
+                screen_info=screen_info,
             )
             strategy = make_strategy(
                 job.algorithm, **strategy_kwargs(job.algorithm, rounding=job.rounding)

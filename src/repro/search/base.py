@@ -58,6 +58,11 @@ class SearchStrategy(ABC):
         shadow_info = getattr(evaluator, "shadow_info", None)
         if shadow_info is not None:
             metadata["shadow"] = dict(shadow_info)
+        screen_info = getattr(evaluator, "screen_info", None)
+        if screen_info is not None:
+            info = dict(screen_info)
+            info["screened"] = evaluator.stats.screened
+            metadata["screen"] = info
         return SearchOutcome(
             strategy=self.strategy_name,
             program=evaluator.program.name,

@@ -27,9 +27,11 @@ configuration at the same verified quality bound (see
 
 from __future__ import annotations
 
+import math
+
 from repro.core.evaluator import ConfigurationEvaluator
 from repro.core.types import CustomFormat, PrecisionConfig, PrecisionLike, get_format
-from repro.core.variables import Granularity
+from repro.core.variables import Granularity, SearchSpace
 from repro.errors import MixPBenchError
 from repro.search.base import SearchStrategy
 
@@ -95,6 +97,7 @@ class BitWidthSearch(SearchStrategy):
         self.rounding = rounding
         self._suffix = "sr" if rounding == "stochastic" else ""
         self._cap = _STORAGE_MANTISSA[self.exponent_bits]
+        self._seeded = 0
 
     def describe(self) -> dict:
         info = super().describe()
@@ -103,6 +106,10 @@ class BitWidthSearch(SearchStrategy):
             min_mantissa=self.min_mantissa,
             rounding=self.rounding,
         )
+        # Only present when width seeding actually fired, so unguided
+        # outcomes stay byte-identical to releases without seeding.
+        if self._seeded:
+            info["seeded_locations"] = self._seeded
         return info
 
     def _format(self, mantissa: int) -> CustomFormat:
@@ -111,6 +118,48 @@ class BitWidthSearch(SearchStrategy):
     def domain(self) -> tuple[PrecisionLike, ...]:
         """The per-location width domain this search enumerates."""
         return emulated_domain(self.exponent_bits, self.min_mantissa, self.rounding)
+
+    def _seed_weight(
+        self, evaluator: ConfigurationEvaluator, space: SearchSpace, location: str
+    ) -> float | None:
+        """The location's fp32-anchored error weight, from whichever
+        guidance source is attached: the static certificate when
+        screening is active, else the shadow marginals when ``--order
+        shadow`` is.  ``None`` (no source) keeps the bisection ladder
+        byte-identical to the unseeded behaviour."""
+        if space.granularity is Granularity.CLUSTER:
+            members = space.cluster(location).members
+        else:
+            members = (location,)
+        screen = getattr(evaluator, "screen", None)
+        if screen is not None:
+            return screen.seed_weight(members)
+        order = getattr(evaluator, "location_order", None)
+        scores = getattr(order, "scores", None)
+        anchor = getattr(order, "predicted_error", None)
+        if not scores or anchor is None or not math.isfinite(anchor) or anchor < 0:
+            return None
+        if anchor == 0.0:
+            # The shadow run predicts no error at all at fp32: widths
+            # don't matter, so guess the minimum first (still verified).
+            return 0.0
+        total = sum(v for v in scores.values() if math.isfinite(v) and v > 0)
+        if total <= 0:
+            return None
+        mass = sum(max(scores.get(uid, 0.0), 0.0) for uid in members)
+        return (mass / total) * anchor
+
+    def _seed_mantissa(self, weight: float, threshold: float) -> int:
+        """Smallest mantissa width whose first-order predicted error
+        stays at the threshold: solve ``weight * 2**(23 - m) <= t``
+        (the weight is anchored at fp32's 23 explicit bits), clamped to
+        the search range."""
+        if weight <= 0.0:
+            return self.min_mantissa
+        if threshold <= 0.0 or not math.isfinite(threshold):
+            return self._cap
+        needed = math.ceil(23 - math.log2(threshold / weight))
+        return max(self.min_mantissa, min(self._cap, needed))
 
     def _search(self, evaluator: ConfigurationEvaluator) -> PrecisionConfig | None:
         space = self.space(evaluator)
@@ -121,6 +170,7 @@ class BitWidthSearch(SearchStrategy):
             {loc: self.domain() for loc in space.locations()}
         )
         choices: dict[str, PrecisionLike] = {}
+        threshold = evaluator.quality.threshold
 
         def trial_with(location: str, mantissa: int):
             candidate = dict(choices)
@@ -133,6 +183,28 @@ class BitWidthSearch(SearchStrategy):
             if not widest.passed:
                 continue  # stays at double
             lo, hi = self.min_mantissa, self._cap
+
+            # Guess-and-verify seeding: probe the predicted minimal
+            # width first.  When the prediction is right the location
+            # settles in two probes instead of the full log2 ladder;
+            # when it is off, the probes narrow the bisection range, so
+            # the invariant (hi always verifies, everything below lo
+            # failed) — and with it the final width — is unchanged.
+            weight = self._seed_weight(evaluator, space, location)
+            if weight is not None:
+                guess = self._seed_mantissa(weight, threshold)
+                if lo <= guess < hi:
+                    self._seeded += 1
+                    if trial_with(location, guess).passed:
+                        hi = guess
+                        if guess > lo:
+                            if trial_with(location, guess - 1).passed:
+                                hi = guess - 1
+                            else:
+                                lo = guess
+                    else:
+                        lo = guess + 1
+
             while lo < hi:
                 mid = (lo + hi) // 2
                 if trial_with(location, mid).passed:

@@ -67,6 +67,9 @@ class GridSpec:
     #: store-rounding mode for emulated formats ("nearest" or
     #: "stochastic"); only the bit-width bisection strategy consumes it
     rounding: str = "nearest"
+    #: skip configurations whose statically certified error bound
+    #: violates the threshold (sound: skips only, never accepts)
+    screen: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "programs", tuple(self.programs))
@@ -104,6 +107,7 @@ class GridSpec:
             shadow=self.shadow,
             fuse=self.fuse,
             rounding=self.rounding,
+            screen=self.screen,
         )
 
     @property
@@ -139,6 +143,7 @@ class GridSpec:
             # formats keep their pre-format JSON shape, so their content
             # digests (and therefore job identifiers) are unchanged.
             **({"rounding": self.rounding} if self.rounding != "nearest" else {}),
+            **({"screen": True} if self.screen else {}),
         }
 
     @classmethod
@@ -149,7 +154,7 @@ class GridSpec:
             "programs", "algorithms", "thresholds", "max_evaluations",
             "time_limit_seconds", "executor", "executor_workers",
             "trial_timeout", "max_retries", "prune", "shadow", "fuse",
-            "rounding",
+            "rounding", "screen",
         }
         unknown = set(payload) - known
         if unknown:
@@ -171,6 +176,7 @@ class GridSpec:
                 shadow=bool(payload.get("shadow", False)),
                 fuse=bool(payload.get("fuse", True)),
                 rounding=payload.get("rounding", "nearest"),
+                screen=bool(payload.get("screen", False)),
             )
         except KeyError as missing:
             raise SpecError(f"grid spec is missing {missing.args[0]!r}") from None

@@ -1,6 +1,7 @@
 """Typeforge analogue: type-dependence analysis, clustering, forward
-dataflow, hazard linting, and static search-space pruning for benchmark
-modules written in the constrained MPB style."""
+dataflow, hazard linting, static search-space pruning, and certified
+rounding-error bounds for benchmark modules written in the constrained
+MPB style."""
 
 from repro.typeforge.astscan import scan_module, scan_source
 from repro.typeforge.clusters import TypeforgeReport, analyze, analyze_sources
@@ -11,6 +12,15 @@ from repro.typeforge.dataflow import (
     analyze_dataflow,
 )
 from repro.typeforge.dependence import DependenceEdge, DependenceResult, UnionFind, solve
+from repro.typeforge.errorbound import (
+    BOUND_RULES,
+    CertifiedBound,
+    ErrorBoundModel,
+    SiteAmplification,
+    analyze_error_bounds,
+    calibrate_bound,
+    certify_benchmark,
+)
 from repro.typeforge.lint import LintFinding, LintReport, lint_benchmark, lint_sources
 from repro.typeforge.prune import PruneResult, prune_report, prune_space
 
@@ -21,4 +31,7 @@ __all__ = [
     "DataflowResult", "HazardSite", "MustEqual", "analyze_dataflow",
     "PruneResult", "prune_report", "prune_space",
     "LintFinding", "LintReport", "lint_benchmark", "lint_sources",
+    "BOUND_RULES", "ErrorBoundModel", "SiteAmplification",
+    "CertifiedBound", "analyze_error_bounds", "calibrate_bound",
+    "certify_benchmark",
 ]

@@ -16,7 +16,15 @@ MPB202    warning   binop mixes operands from different clusters
 MPB203    warning   reduction/accumulation loop grows rounding error
 MPB204    warning   cancellation-prone subtraction
 MPB205    warning   comparison against a tight tolerance
+MPB301    info      site dominates the certified error bound
+MPB302    info      reduction trip count is not trace-bounded
+MPB303    info      bound blow-up through cancellation
 ========  ========  =====================================================
+
+The MPB3xx rows come from the static rounding-error certifier
+(:mod:`repro.typeforge.errorbound`): each carries the per-site
+amplification factor the certified bound attributes to that source
+location.
 
 Findings are suppressed inline with a trailing comment on the flagged
 line::
@@ -24,8 +32,15 @@ line::
     q = q + np.dot(x[lo:hi], z[lo:hi])  # mpb: ignore[MPB203]
 
 ``# mpb: ignore`` without a rule list suppresses every rule on that
-line.  Suppressed findings stay in the report (marked) but do not
-affect the exit status.
+line.  A module-level comment (on any line of the file) suppresses
+rules across the whole file::
+
+    # mpb: ignore-file[MPB302, MPB303]
+
+``# mpb: ignore-file`` without a rule list suppresses everything in
+the file.  Suppressed findings stay in the report (marked) but do not
+affect the exit status; their count is reported in ``--format json``
+output as ``suppressed``.
 """
 
 from __future__ import annotations
@@ -53,7 +68,13 @@ SEVERITIES = ("error", "warning", "info")
 
 #: suppression comment: ``# mpb: ignore`` or ``# mpb: ignore[MPB203, ...]``
 _IGNORE_RE = re.compile(
-    r"#\s*mpb:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]*)\])?"
+    r"#\s*mpb:\s*ignore(?!-file)(?:\[(?P<rules>[A-Z0-9,\s]*)\])?"
+)
+
+#: file-wide suppression: ``# mpb: ignore-file`` or
+#: ``# mpb: ignore-file[MPB302, ...]`` anywhere in the module
+_IGNORE_FILE_RE = re.compile(
+    r"#\s*mpb:\s*ignore-file(?:\[(?P<rules>[A-Z0-9,\s]*)\])?"
 )
 
 _STYLE_RULE = "MPB001"
@@ -138,38 +159,58 @@ class LintReport:
         }
 
 
-def _suppressions(scan: ModuleScan) -> dict[int, frozenset[str] | None]:
-    """Per-line suppressed rules; ``None`` means every rule."""
-    out: dict[int, frozenset[str] | None] = {}
+def _parse_rules(match: re.Match) -> frozenset[str] | None:
+    """The rule list of a suppression match; ``None`` means every rule."""
+    rules = match.group("rules")
+    if rules is None or not rules.strip():
+        return None
+    return frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+
+def _suppressions(
+    scan: ModuleScan,
+) -> tuple[frozenset[str] | None, dict[int, frozenset[str] | None]]:
+    """``(file_rules, line_rules)`` suppressed in one module.
+
+    ``file_rules`` collects every ``ignore-file`` directive (``None``
+    once any of them is bare, i.e. suppress-everything); ``line_rules``
+    maps line numbers to their inline ``ignore`` rules, again with
+    ``None`` for a bare directive.
+    """
+    file_rules: frozenset[str] | None = frozenset()
+    line_rules: dict[int, frozenset[str] | None] = {}
     for lineno, text in enumerate(scan.source.splitlines(), start=1):
-        match = _IGNORE_RE.search(text)
-        if not match:
+        match = _IGNORE_FILE_RE.search(text)
+        if match:
+            rules = _parse_rules(match)
+            if rules is None or file_rules is None:
+                file_rules = None
+            else:
+                file_rules = file_rules | rules
             continue
-        rules = match.group("rules")
-        if rules is None or not rules.strip():
-            out[lineno] = None
-        else:
-            out[lineno] = frozenset(
-                r.strip() for r in rules.split(",") if r.strip()
-            )
-    return out
+        match = _IGNORE_RE.search(text)
+        if match:
+            line_rules[lineno] = _parse_rules(match)
+    return file_rules, line_rules
 
 
 def lint_scans(
     scans: list[ModuleScan], entry: str | None, target: str
 ) -> LintReport:
     """Lint already-scanned modules as one program."""
-    suppressed_by_module: dict[str, dict[int, frozenset[str] | None]] = {
-        scan.module: _suppressions(scan) for scan in scans
-    }
+    suppressed_by_module = {scan.module: _suppressions(scan) for scan in scans}
     module_of_file = {scan.path: scan.module for scan in scans if scan.path}
 
     def is_suppressed(rule: str, module: str, file: str | None, line: int) -> bool:
         key = module if module in suppressed_by_module else module_of_file.get(file)
-        lines = suppressed_by_module.get(key, {})
-        if line not in lines:
+        if key not in suppressed_by_module:
             return False
-        rules = lines[line]
+        file_rules, line_rules = suppressed_by_module[key]
+        if file_rules is None or rule in file_rules:
+            return True
+        if line not in line_rules:
+            return False
+        rules = line_rules[line]
         return rules is None or rule in rules
 
     findings: list[LintFinding] = []
@@ -243,6 +284,18 @@ def lint_scans(
             hazard.rule, hazard.message,
             module=hazard.module, file=hazard.file,
             line=hazard.line, col=hazard.col, function=hazard.function,
+        )
+
+    # MPB3xx: per-site amplification factors from the static
+    # rounding-error certifier (repro.typeforge.errorbound).
+    from repro.typeforge.errorbound import analyze_error_bounds
+
+    model = analyze_error_bounds(scans, entry=entry, dataflow=dataflow)
+    for site in model.sites:
+        add(
+            site.rule, site.message,
+            module=site.module, file=site.file,
+            line=site.line, col=site.col, function=site.function,
         )
 
     findings.sort(key=lambda f: (

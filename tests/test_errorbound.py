@@ -1,0 +1,501 @@
+"""Tests for the static rounding-error certifier and screening.
+
+Covers the :mod:`repro.typeforge.errorbound` model on synthetic
+sources, the calibration/certificate layer, the evaluator's screening
+fast path, the golden pins for every benchmark
+(``tests/data/certify_golden.json``), the screening and bit-width
+seeding acceptance numbers, and the Hypothesis soundness property:
+the certified error lower bound of a configuration never exceeds the
+error the evaluator actually measures for it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import math
+import sys
+from pathlib import Path
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.benchmarks.base import KernelBenchmark, get_benchmark
+from repro.core.evaluator import ConfigurationEvaluator
+from repro.core.results import EvaluationStatus
+from repro.core.telemetry import EvalStats
+from repro.core.types import PrecisionConfig, get_format, unit_roundoff
+from repro.search.registry import make_strategy
+from repro.typeforge.astscan import scan_source
+from repro.typeforge.errorbound import (
+    BLOWUP_THRESHOLD,
+    BOUND_RULES,
+    CANCELLATION_FACTOR,
+    DEFAULT_SAFETY,
+    DEFAULT_TRIP_COUNT,
+    U_REF,
+    CertifiedBound,
+    analyze_error_bounds,
+    certify_benchmark,
+)
+from repro.verify.quality import QualitySpec
+
+REDUCTION_SRC = """def kernel(ws, n):
+    x = ws.array('x', 8)
+    s = ws.scalar('s', 0.0)
+    for i in range(n):
+        s = s + x[i]
+    return s
+"""
+
+CANCEL_SRC = """def kernel(ws, n):
+    a = ws.array('a', 8)
+    b = ws.array('b', 8)
+    d = a - b
+    return d
+"""
+
+BLOWUP_SRC = """def kernel(ws, n):
+    a = ws.array('a', 8)
+    b = ws.array('b', 8)
+    s = ws.scalar('s', 0.0)
+    for i in range(n):
+        s = s + (a[i] - b[i])
+    return s
+"""
+
+
+def _model(src, **kwargs):
+    return analyze_error_bounds([scan_source(src, "mod")], entry="kernel", **kwargs)
+
+
+class TestErrorBoundModel:
+    def test_reduction_amplifies_by_trip_count(self):
+        model = _model(REDUCTION_SRC)
+        assert model.terms["kernel.x"] == DEFAULT_TRIP_COUNT
+        assert model.terms["kernel.s"] == DEFAULT_TRIP_COUNT
+        assert not model.trip_bounded
+
+    def test_trip_count_bounds_and_silences_mpb302(self):
+        symbolic = _model(REDUCTION_SRC)
+        assert [s.rule for s in symbolic.sites] == ["MPB301", "MPB302"]
+        bounded = _model(REDUCTION_SRC, trip_count=16)
+        assert bounded.trip_bounded
+        assert bounded.terms["kernel.x"] == 16.0
+        assert [s.rule for s in bounded.sites] == ["MPB301"]
+
+    def test_cancellation_amplifies_by_factor(self):
+        model = _model(CANCEL_SRC)
+        assert model.terms["kernel.a"] == CANCELLATION_FACTOR
+        assert model.terms["kernel.b"] == CANCELLATION_FACTOR
+        # a lone cancellation stays below the blow-up threshold
+        assert CANCELLATION_FACTOR < BLOWUP_THRESHOLD
+        assert [s.rule for s in model.sites] == ["MPB301"]
+
+    def test_cancellation_inside_reduction_blows_up(self):
+        model = _model(BLOWUP_SRC)
+        expected = DEFAULT_TRIP_COUNT * CANCELLATION_FACTOR
+        assert model.terms["kernel.s"] == expected
+        assert sorted(s.rule for s in model.sites) == [
+            "MPB301", "MPB302", "MPB303",
+        ]
+        blow = next(s for s in model.sites if s.rule == "MPB303")
+        assert blow.factor == expected
+
+    def test_dominating_site_emitted_once(self):
+        for src in (REDUCTION_SRC, CANCEL_SRC, BLOWUP_SRC):
+            model = _model(src)
+            assert sum(1 for s in model.sites if s.rule == "MPB301") == 1
+            uid, factor = model.dominating()
+            assert model.terms[uid] == factor == max(model.terms.values())
+
+    def test_all_double_prices_to_zero(self):
+        model = _model(BLOWUP_SRC)
+        assert model.bound(PrecisionConfig()) == 0.0
+
+    def test_bound_monotone_in_width(self):
+        model = _model(REDUCTION_SRC)
+        uids = list(model.terms)
+        bounds = [
+            model.bound(PrecisionConfig(dict.fromkeys(uids, get_format(f"e8m{m}"))))
+            for m in (23, 16, 10, 4)
+        ]
+        assert bounds == sorted(bounds)
+        assert bounds[0] > 0.0
+
+    def test_profile_bounds_trip_count(self):
+        class FakeProfile:
+            ops = {"add": 10, "mul": 6}
+
+        model = _model(REDUCTION_SRC, profile=FakeProfile())
+        assert model.trip_bounded
+        assert model.trip_count == 16
+        assert model.terms["kernel.x"] == 16.0
+
+    def test_unusable_profile_falls_back_to_default(self):
+        for profile in (object(), type("P", (), {"ops": {}})()):
+            model = _model(REDUCTION_SRC, profile=profile)
+            assert not model.trip_bounded
+            assert model.terms["kernel.x"] == DEFAULT_TRIP_COUNT
+
+    def test_rule_catalogue(self):
+        assert sorted(BOUND_RULES) == ["MPB301", "MPB302", "MPB303"]
+
+    def test_summary_and_json_roundtrip(self):
+        model = _model(BLOWUP_SRC)
+        summary = model.summary()
+        assert summary["terms"] == len(model.terms)
+        payload = model.to_json_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestCertifiedBound:
+    def _bound(self, weights, anchor=1e-6, safety=DEFAULT_SAFETY):
+        return CertifiedBound(
+            program="toy", weights=dict(weights), anchor=anchor, safety=safety,
+        )
+
+    def test_inert_certificate_never_rejects(self):
+        cert = self._bound({}, anchor=0.0)
+        config = PrecisionConfig({"kernel.x": get_format("e8m2")})
+        assert cert.predict(config) == 0.0
+        assert not cert.rejects(config, 1e-12)
+
+    def test_predict_scales_with_excess_roundoff(self):
+        cert = self._bound({"kernel.x": 1e-6})
+        fp32 = PrecisionConfig({"kernel.x": get_format("e8m23")})
+        m10 = PrecisionConfig({"kernel.x": get_format("e8m10")})
+        assert cert.predict(fp32) == pytest.approx(1e-6, rel=1e-9)
+        ratio = unit_roundoff(get_format("e8m10")) / U_REF
+        # u(double) is negligible against u(e8m10); the width scaling
+        # dominates
+        assert cert.predict(m10) == pytest.approx(1e-6 * ratio, rel=1e-3)
+
+    def test_lower_divides_by_safety(self):
+        cert = self._bound({"kernel.x": 1e-6}, safety=100.0)
+        config = PrecisionConfig({"kernel.x": get_format("e8m23")})
+        assert cert.lower(config) == pytest.approx(cert.predict(config) / 100.0)
+
+    def test_rejects_requires_finite_positive_threshold(self):
+        cert = self._bound({"kernel.x": 1.0})
+        config = PrecisionConfig({"kernel.x": get_format("e8m2")})
+        assert cert.rejects(config, 1e-12)
+        assert not cert.rejects(config, math.inf)
+        assert not cert.rejects(config, math.nan)
+        assert not cert.rejects(config, -1.0)
+
+    def test_all_double_is_never_rejected(self):
+        cert = self._bound({"kernel.x": 1.0})
+        assert not cert.rejects(PrecisionConfig(), 1e-300)
+
+    def test_seed_weight_sums_members(self):
+        cert = self._bound({"a.x": 1e-6, "a.y": 3e-6})
+        assert cert.seed_weight(("a.x", "a.y")) == pytest.approx(4e-6)
+        assert cert.seed_weight(("a.z",)) == 0.0
+
+    def test_info_and_json(self):
+        cert = self._bound({"a.x": 1e-6})
+        info = cert.info()
+        assert info["terms"] == 1
+        assert info["safety"] == DEFAULT_SAFETY
+        payload = cert.to_json_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class _StubScreen:
+    """Duck-typed certificate: rejects anything that lowers a location."""
+
+    def rejects(self, config, threshold):
+        return bool(config.lowered_locations())
+
+    def predict(self, config):
+        return 42.0
+
+    def lower(self, config):
+        return 42.0 / DEFAULT_SAFETY
+
+
+class TestEvaluatorScreening:
+    def test_screened_trial_is_free(self, toy_program):
+        evaluator = ConfigurationEvaluator(
+            toy_program, measurement_noise=0.0, screen=_StubScreen(),
+        )
+        clock_before = evaluator.analysis_seconds
+        config = evaluator.space().uniform_config(get_format("e8m10"))
+        record = evaluator.evaluate(config)
+        assert record.status is EvaluationStatus.SCREENED
+        assert record.error_value == 42.0
+        assert not record.passed
+        assert evaluator.evaluations == 0  # free: no EV increment...
+        assert evaluator.analysis_seconds == clock_before  # ...no budget
+        assert evaluator.stats.screened == 1
+        assert evaluator.trials[-1] is record
+
+    def test_screened_repeat_hits_memory_cache(self, toy_program):
+        evaluator = ConfigurationEvaluator(
+            toy_program, measurement_noise=0.0, screen=_StubScreen(),
+        )
+        config = evaluator.space().uniform_config(get_format("e8m10"))
+        evaluator.evaluate(config)
+        evaluator.evaluate(config)
+        assert evaluator.stats.screened == 1
+        assert evaluator.stats.memory_hits == 1
+
+    def test_baseline_is_never_screened(self, toy_program):
+        evaluator = ConfigurationEvaluator(
+            toy_program, measurement_noise=0.0, screen=_StubScreen(),
+        )
+        record = evaluator.evaluate(PrecisionConfig())
+        assert record.status is EvaluationStatus.PASSED
+        assert evaluator.stats.screened == 0
+
+    def test_eval_stats_screened_serialized_only_when_nonzero(self):
+        stats = EvalStats()
+        assert "screened" not in stats.as_dict()
+        stats.screened = 3
+        assert stats.as_dict()["screened"] == 3
+        merged = EvalStats()
+        merged.merge(stats)
+        assert merged.screened == 3
+
+    def test_outcome_metadata_without_screen_is_unchanged(self, toy_program):
+        evaluator = ConfigurationEvaluator(toy_program, measurement_noise=0.0)
+        outcome = make_strategy("DD").run(evaluator)
+        assert "screen" not in outcome.metadata
+        assert "screened" not in outcome.metadata["eval_stats"]
+
+
+def _load_certify_golden():
+    path = Path(__file__).parent / "data" / "certify_golden.json"
+    return json.loads(path.read_text())
+
+
+CERTIFY_GOLDEN = _load_certify_golden()
+
+
+class TestCertifyGolden:
+    """Pin the certificate of every benchmark.
+
+    Any change to the bound model, the calibration, or a benchmark
+    module shows up here as an explicit diff against
+    ``tests/data/certify_golden.json``.
+    """
+
+    def test_every_benchmark_is_pinned(self):
+        from repro.benchmarks.base import available_benchmarks
+
+        assert sorted(CERTIFY_GOLDEN) == sorted(available_benchmarks())
+        assert len(CERTIFY_GOLDEN) == 17
+
+    @pytest.mark.parametrize("name", sorted(CERTIFY_GOLDEN))
+    def test_certificate_matches_golden(self, name, data_env):
+        expected = CERTIFY_GOLDEN[name]
+        bench = get_benchmark(name)
+        model, cert = certify_benchmark(bench)
+        assert len(model.terms) == expected["terms"]
+        assert model.trip_bounded == expected["trip_bounded"]
+        dom = model.dominating()
+        if expected["dominating"] is None:
+            assert dom is None
+        else:
+            assert [dom[0], dom[1]] == expected["dominating"]
+        for rule, count in expected["sites"].items():
+            assert sum(1 for s in model.sites if s.rule == rule) == count
+        anchor = cert.anchor
+        if expected["anchor"] is None:
+            assert anchor is None or not math.isfinite(anchor)
+        else:
+            assert float(f"{anchor:.6e}") == expected["anchor"]
+        assert len(cert.weights) == expected["weights"]
+        screened = sum(
+            cert.rejects(
+                PrecisionConfig(dict.fromkeys(cert.weights, get_format(f"e8m{m}"))),
+                bench.default_threshold,
+            )
+            for m in (23, 16, 10, 6, 2)
+        )
+        assert screened == expected["screened_ladder"]
+
+
+def _bw_pair(program, screened):
+    bench = get_benchmark(program)
+    screen = None
+    screen_info = None
+    if screened:
+        _, screen = certify_benchmark(bench)
+        screen_info = screen.info()
+    evaluator = ConfigurationEvaluator(
+        bench, screen=screen, screen_info=screen_info,
+    )
+    outcome = make_strategy("BW").run(evaluator)
+    return outcome, evaluator
+
+
+class TestScreeningAcceptance:
+    """--screen reaches the same verified error while skipping work."""
+
+    #: (program, EV plain, EV screened) — golden evaluation counts
+    GOLDEN = (
+        ("hpccg", 43, 22),
+        ("kmeans", 66, 31),
+        ("blackscholes", 85, 78),
+        ("lavamd", 23, 20),
+    )
+
+    @pytest.mark.parametrize("program,ev_plain,ev_screen", GOLDEN)
+    def test_bw_screen_equal_error_fewer_evaluations(
+        self, program, ev_plain, ev_screen, data_env
+    ):
+        plain, _ = _bw_pair(program, screened=False)
+        screened, evaluator = _bw_pair(program, screened=True)
+        err, err_s = plain.error_value, screened.error_value
+        assert err == err_s or (math.isnan(err) and math.isnan(err_s))
+        assert plain.evaluations == ev_plain
+        assert screened.evaluations == ev_screen
+        assert screened.metadata["screen"]["screened"] == evaluator.stats.screened
+
+    def test_at_least_three_benchmarks_skip_ten_percent(self):
+        savers = [
+            program for program, ev_plain, ev_screen in self.GOLDEN
+            if (ev_plain - ev_screen) / ev_plain >= 0.10
+        ]
+        assert len(savers) >= 3
+
+    @pytest.mark.parametrize("program,algorithm", [
+        ("hpccg", "DD"), ("hpccg", "HR"), ("hpccg", "HRC"), ("hpccg", "GA"),
+    ])
+    def test_other_strategies_equal_verified_error(
+        self, program, algorithm, data_env
+    ):
+        bench = get_benchmark(program)
+        plain = make_strategy(algorithm).run(ConfigurationEvaluator(bench))
+        _, cert = certify_benchmark(bench)
+        screened = make_strategy(algorithm).run(ConfigurationEvaluator(
+            bench, screen=cert, screen_info=cert.info(),
+        ))
+        err, err_s = plain.error_value, screened.error_value
+        assert err == err_s or (math.isnan(err) and math.isnan(err_s))
+
+
+class TestBitwidthShadowSeeding:
+    """BW seeds its bisection ladder from shadow marginals (--order
+    shadow) even without the certificate."""
+
+    #: (program, EV plain, EV shadow-seeded) — golden counts
+    GOLDEN = (("hpccg", 43, 24), ("kmeans", 66, 26))
+
+    @pytest.mark.parametrize("program,ev_plain,ev_shadow", GOLDEN)
+    def test_shadow_seeding_reduces_evaluations(
+        self, program, ev_plain, ev_shadow, data_env
+    ):
+        from repro.shadow import shadow_guidance
+
+        bench = get_benchmark(program)
+        plain = make_strategy("BW").run(ConfigurationEvaluator(bench))
+        order, info = shadow_guidance(bench)
+        guided = make_strategy("BW").run(ConfigurationEvaluator(
+            bench, location_order=order, shadow_info=info,
+        ))
+        err, err_s = plain.error_value, guided.error_value
+        assert err == err_s or (math.isnan(err) and math.isnan(err_s))
+        assert plain.evaluations == ev_plain
+        assert guided.evaluations == ev_shadow
+        assert guided.metadata["seeded_locations"] > 0
+        assert "seeded_locations" not in plain.metadata
+
+
+# --- Hypothesis soundness property -------------------------------------------
+
+_FUZZ_DIR = None
+_FUZZ_COUNT = 0
+
+
+def _make_benchmark(body_lines, tmp_root):
+    """Materialise a generated kernel as an importable module and wrap
+    it in a throw-away KernelBenchmark subclass (unique name/module so
+    the per-process input caches never collide)."""
+    global _FUZZ_COUNT
+    _FUZZ_COUNT += 1
+    ident = _FUZZ_COUNT
+    source = (
+        "import numpy as np\n\n\ndef kernel(ws, n):\n"
+        + "\n".join(body_lines) + "\n"
+    )
+    path = tmp_root / f"errorbound_fuzz_{ident}.py"
+    path.write_text(source)
+    module_name = f"errorbound_fuzz_{ident}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    cls = type(
+        f"ErrorBoundFuzz{ident}",
+        (KernelBenchmark,),
+        {
+            "name": f"errorbound-fuzz-{ident}",
+            "description": "generated soundness-property program",
+            "module_name": module_name,
+            "entry": "kernel",
+            "nominal_seconds": 0.1,
+            "setup": lambda self: {"n": 64},
+        },
+    )
+    return cls()
+
+
+@st.composite
+def noncancelling_programs(draw):
+    """A random non-cancelling MPB kernel: positive data, only ``+``
+    and ``*`` chains (the regime the first-order model is calibrated
+    for), optionally ending in an accumulation loop."""
+    n_arrays = draw(st.integers(2, 4))
+    lines = [
+        f"    a{i} = ws.array('a{i}', init=ws.rng.random(n) + 0.5)"
+        for i in range(n_arrays)
+    ]
+    for _ in range(draw(st.integers(1, 4))):
+        dst = draw(st.integers(0, n_arrays - 1))
+        src = draw(st.integers(0, n_arrays - 1))
+        coef = draw(st.sampled_from(["0.5", "0.75", "1.25", "2.0"]))
+        lines.append(f"    a{dst} = a{dst} * {coef} + a{src}")
+    if draw(st.booleans()):
+        lines.append("    s = ws.scalar('s', 0.0)")
+        lines.append("    for i in range(8):")
+        lines.append(f"        s = s + a{draw(st.integers(0, n_arrays - 1))}[i]")
+        lines.append(f"    return np.asarray([s]) + a{draw(st.integers(0, n_arrays - 1))}")
+    else:
+        lines.append(f"    return a{draw(st.integers(0, n_arrays - 1))}")
+    widths = draw(st.lists(st.integers(8, 23), min_size=1, max_size=3))
+    return lines, widths
+
+
+@given(noncancelling_programs())
+@settings(max_examples=12, deadline=None)
+def test_certified_lower_bound_never_undercuts_measured_error(
+    tmp_path_factory, case
+):
+    """Soundness: for every generated program and every tried width,
+    the certified lower bound does not exceed the measured error — so
+    screening can never skip a configuration that would have passed."""
+    body_lines, widths = case
+    tmp_root = tmp_path_factory.mktemp("errorbound-fuzz")
+    bench = _make_benchmark(body_lines, tmp_root)
+    _, cert = certify_benchmark(bench)
+    quality = QualitySpec(bench.metric, bench.default_threshold)
+    baseline = bench.execute(PrecisionConfig())
+    uids = [v.uid for v in bench.report().search_space().variables]
+    for width in widths:
+        config = PrecisionConfig(dict.fromkeys(uids, get_format(f"e8m{width}")))
+        measured = quality.measure(baseline.output, bench.execute(config).output)
+        if math.isnan(measured):
+            continue
+        assert cert.lower(config) <= measured or math.isclose(
+            cert.lower(config), measured, rel_tol=1e-9
+        ), (
+            f"certified lower bound {cert.lower(config):.3e} exceeds "
+            f"measured error {measured:.3e} at e8m{width}"
+        )
+        # rejects() must therefore never fire at any achievable threshold
+        assert not cert.rejects(config, max(measured, 1e-300))

@@ -95,8 +95,8 @@ class TestSearchDrivenExperiments:
         assert EXPERIMENTS == (
             "table1", "table2", "table3", "table4", "table5", "fig2", "fig3",
             "insights", "compare", "prune-stats", "shadow-stats",
-            "format-stats", "ext-half", "ext-hrc", "ext-machines",
-            "ext-convergence",
+            "screen-stats", "format-stats", "ext-half", "ext-hrc",
+            "ext-machines", "ext-convergence",
         )
 
 

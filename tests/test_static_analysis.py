@@ -331,6 +331,49 @@ class TestLint:
         report = lint_sources({"m": src}, entry="k", target="t")
         assert report.count("warning") == 0
 
+    def test_ignore_file_with_rule_list(self):
+        src = "# mpb: ignore-file[MPB202, MPB203]\n" + ACCUMULATOR
+        report = lint_sources({"m": src}, entry="k", target="t")
+        by_rule = {f.rule: f for f in report.findings}
+        assert by_rule["MPB202"].suppressed
+        assert by_rule["MPB203"].suppressed
+        assert not by_rule["MPB301"].suppressed  # not in the list
+        assert report.suppressed_count >= 2
+
+    def test_bare_ignore_file_suppresses_everything(self):
+        src = "# mpb: ignore-file\n" + ACCUMULATOR
+        report = lint_sources({"m": src}, entry="k", target="t")
+        assert report.findings
+        assert all(f.suppressed for f in report.findings)
+        assert report.worst_severity() is None
+        assert report.active == ()
+
+    def test_ignore_file_does_not_act_as_line_ignore(self):
+        # an ignore-file marker sharing a flagged line must not be
+        # misread as an inline ignore[...] for that line only
+        src = ACCUMULATOR.replace(
+            "s = s + x[i]", "s = s + x[i]  # mpb: ignore-file[MPB999]",
+        )
+        report = lint_sources({"m": src}, entry="k", target="t")
+        by_rule = {f.rule: f for f in report.findings}
+        assert not by_rule["MPB203"].suppressed
+
+    def test_json_reports_suppressed_count(self):
+        src = "# mpb: ignore-file[MPB203]\n" + ACCUMULATOR
+        report = lint_sources({"m": src}, entry="k", target="t")
+        payload = reports_to_json([report])
+        assert payload["targets"][0]["suppressed"] == report.suppressed_count
+        assert payload["suppressed"] == report.suppressed_count
+        assert payload["suppressed"] >= 1
+
+    def test_bound_rules_reported_as_info(self):
+        # the reduction kernel triggers the certifier's MPB301
+        # (dominating site) and MPB302 (trip count not trace-bounded)
+        report = lint_sources({"m": ACCUMULATOR}, entry="k", target="t")
+        by_rule = {f.rule: f for f in report.findings}
+        assert by_rule["MPB301"].severity == "info"
+        assert by_rule["MPB302"].severity == "info"
+
     def test_format_text_and_json_agree(self):
         reports = [lint_sources({"m": ACCUMULATOR}, entry="k", target="t")]
         text = format_text(reports)
@@ -410,6 +453,47 @@ class TestCLI:
         ]) == 0
         out = capsys.readouterr().out
         assert "pruned: 11 -> 7 locations (4 frozen, 0 merged)" in out
+
+    def test_certify_text(self, capsys, data_env):
+        assert main(["certify", "hpccg"]) == 0
+        out = capsys.readouterr().out
+        assert "static error-bound certificate" in out
+        assert "calibration anchor" in out
+        assert "bound sites:" in out
+        assert "MPB301" in out
+
+    def test_certify_inert_benchmark(self, capsys, data_env):
+        # kmeans is exact at fp32 (MCR metric), so its certificate has
+        # no weights and must say so instead of printing empty tables
+        assert main(["certify", "kmeans"]) == 0
+        out = capsys.readouterr().out
+        assert "certificate is inert" in out
+
+    def test_certify_json(self, capsys, data_env):
+        assert main(["certify", "hpccg", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "hpccg"
+        assert payload["model"]["terms"]
+        assert payload["certificate"]["weights"]
+        ladder = payload["uniform_ladder"]
+        assert [step["format"] for step in ladder] == [
+            "e8m23", "e8m16", "e8m10", "e8m6", "e8m2",
+        ]
+        assert any(step["screened"] for step in ladder)
+
+    def test_certify_unknown_benchmark_is_cli_error(self, capsys):
+        assert main(["certify", "no-such-benchmark"]) == 2
+        assert "mixpbench: error" in capsys.readouterr().err
+
+    def test_search_screen_flag(self, capsys, data_env):
+        assert main([
+            "search", "hpccg", "--algorithm", "BW",
+            "--screen", "--no-cache",
+            "--output-dir", str(data_env / "out"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "screen: " in out
+        assert "skipped" in out
 
 
 def _load_prune_golden():
